@@ -1,0 +1,67 @@
+/// Reproduces Figure 4 of the paper: the size gap between the heuristic
+/// results and the optimum on the tough datasets D1..D12 — `heuGlobal` is
+/// step 1's hMBB result, `heuLocal` the incumbent after step 2's local
+/// heuristics.
+
+#include <iostream>
+
+#include "core/bridge_mbb.h"
+#include "core/heuristic_mbb.h"
+#include "core/hbv_mbb.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+#include "graph/datasets.h"
+
+namespace {
+using namespace mbb;
+constexpr double kDefaultScale = 0.03;
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseBenchArgs(argc, argv);
+  const double timeout = config.EffectiveTimeout(15.0);
+  const double scale = config.EffectiveScale(kDefaultScale);
+
+  std::cout << "Figure 4: effectiveness of heuristics — gap to the MBB "
+               "(surrogate scale "
+            << scale << ")\n\n";
+
+  TablePrinter table({"dataset", "optimum", "heuGlobal", "heuLocal",
+                      "gapGlobal", "gapLocal"});
+
+  int dataset_index = 0;
+  for (const DatasetSpec& spec : ToughDatasets()) {
+    ++dataset_index;
+    const BipartiteGraph g = GenerateSurrogate(spec, scale);
+
+    // Ground truth from the exact pipeline.
+    HbvOptions options;
+    options.limits = SearchLimits::FromSeconds(timeout);
+    const MbbResult exact = HbvMbb(g, options);
+    const std::uint32_t optimum = exact.best.BalancedSize();
+
+    // heuGlobal: step 1 only.
+    const HMbbOutcome h = HMbb(g);
+    const std::uint32_t heu_global = h.best.BalancedSize();
+
+    // heuLocal: step 1 + step 2's local heuristic refinement.
+    std::uint32_t heu_local = heu_global;
+    if (!h.solved_exactly) {
+      const BridgeOutcome bridge =
+          BridgeMbb(h.reduced, heu_global, BridgeOptions{});
+      heu_local = bridge.best_size;
+    }
+
+    table.AddRow({"D" + std::to_string(dataset_index) + " " +
+                      std::string(spec.name),
+                  exact.exact ? std::to_string(optimum) : "?",
+                  std::to_string(heu_global), std::to_string(heu_local),
+                  exact.exact ? std::to_string(optimum - heu_global) : "?",
+                  exact.exact ? std::to_string(optimum - heu_local) : "?"});
+    std::cerr << "  [fig4] " << spec.name << " done\n";
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check (paper): heuLocal closes most of the gap — 9 "
+               "of 12 datasets reach the optimum after step 2.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+/// Reproduces Figure 5 of the paper: exhaustive-search effort of hbvMBB
+/// under the three total orders (maxDeg / degeneracy / bidegeneracy) on
+/// the tough datasets, relative to the bidegeneracy δ̈.
+///
+/// The paper plots average search depth / δ̈ (0.1-0.5 on its hardware).
+/// This reproduction's denseMBB carries an additional König matching
+/// bound (see DESIGN.md) that resolves almost every verification subgraph
+/// at the root, so measured depths collapse to ~0 — a strictly stronger
+/// version of the paper's point that the search never approaches δ̈. The
+/// order comparison therefore also reports searched subgraphs and total
+/// recursions, where the maxDeg / degeneracy / bidegeneracy differences
+/// remain visible.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "core/hbv_mbb.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+#include "graph/datasets.h"
+#include "order/bicore_decomposition.h"
+
+namespace {
+using namespace mbb;
+constexpr double kDefaultScale = 0.03;
+
+std::string Ratio(double value) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3) << value;
+  return os.str();
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseBenchArgs(argc, argv);
+  const double timeout = config.EffectiveTimeout(15.0);
+  const double scale = config.EffectiveScale(kDefaultScale);
+
+  std::cout << "Figure 5: exhaustive-search effort per search order "
+               "(surrogate scale "
+            << scale << ")\n"
+            << "columns per order: searched subgraphs / total recursions / "
+               "avg depth over bidegeneracy\n\n";
+
+  TablePrinter table({"dataset", "bideg", "maxDeg", "degeneracy",
+                      "bidegeneracy"});
+
+  int dataset_index = 0;
+  for (const DatasetSpec& spec : ToughDatasets()) {
+    ++dataset_index;
+    const BipartiteGraph g = GenerateSurrogate(spec, scale);
+    const std::uint32_t bidegeneracy = ComputeBicores(g).bidegeneracy;
+
+    std::vector<std::string> row = {
+        "D" + std::to_string(dataset_index) + " " + std::string(spec.name),
+        std::to_string(bidegeneracy)};
+
+    for (const VertexOrderKind kind :
+         {VertexOrderKind::kDegree, VertexOrderKind::kDegeneracy,
+          VertexOrderKind::kBidegeneracy}) {
+      HbvOptions options;
+      options.order = kind;
+      options.limits = SearchLimits::FromSeconds(timeout);
+      const MbbResult result = HbvMbb(g, options);
+      const double depth_ratio =
+          bidegeneracy == 0
+              ? 0.0
+              : result.stats.AverageDepth() / bidegeneracy;
+      row.push_back(std::to_string(result.stats.subgraphs_searched) + "/" +
+                    std::to_string(result.stats.recursions) + "/" +
+                    Ratio(depth_ratio));
+    }
+    table.AddRow(std::move(row));
+    std::cerr << "  [fig5] " << spec.name << " done\n";
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check (paper): the bidegeneracy order gives the "
+               "least exhaustive-search effort,\nand depths stay far below "
+               "δ̈ (here ~0, thanks to the added matching bound).\n";
+  return 0;
+}

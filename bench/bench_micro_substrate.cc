@@ -1,0 +1,116 @@
+/// Substrate microbenchmarks: bitset kernels, graph construction, dense
+/// subgraph extraction, generators.
+
+#include <numeric>
+
+#include <benchmark/benchmark.h>
+
+#include "graph/bipartite_graph.h"
+#include "graph/bitset.h"
+#include "graph/dense_subgraph.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace mbb;
+
+void BM_BitsetAnd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Bitset a(n);
+  Bitset b(n);
+  for (std::size_t i = 0; i < n; i += 3) a.Set(i);
+  for (std::size_t i = 0; i < n; i += 5) b.Set(i);
+  for (auto _ : state) {
+    Bitset c = a;
+    c &= b;
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BitsetAnd)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_BitsetCountAnd(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Bitset a(n);
+  Bitset b(n);
+  for (std::size_t i = 0; i < n; i += 2) a.Set(i);
+  for (std::size_t i = 0; i < n; i += 7) b.Set(i);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.CountAnd(b));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_BitsetCountAnd)->Arg(256)->Arg(2048)->Arg(16384);
+
+void BM_BitsetIterate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Bitset a(n);
+  for (std::size_t i = 0; i < n; i += 4) a.Set(i);
+  for (auto _ : state) {
+    std::uint64_t sum = 0;
+    a.ForEach([&sum](std::size_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitsetIterate)->Arg(2048)->Arg(16384);
+
+void BM_GraphFromEdges(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const BipartiteGraph source = RandomUniform(n, n, 0.05, 1);
+  const std::vector<Edge> edges = source.CollectEdges();
+  for (auto _ : state) {
+    BipartiteGraph g = BipartiteGraph::FromEdges(n, n, edges);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_GraphFromEdges)->Arg(512)->Arg(2048);
+
+void BM_DenseSubgraphBuild(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const BipartiteGraph g = RandomUniform(n, n, 0.5, 2);
+  std::vector<VertexId> left(n);
+  std::iota(left.begin(), left.end(), 0);
+  std::vector<VertexId> right(n);
+  std::iota(right.begin(), right.end(), 0);
+  for (auto _ : state) {
+    DenseSubgraph s = DenseSubgraph::Build(g, left, right);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_DenseSubgraphBuild)->Arg(128)->Arg(512);
+
+void BM_GeneratorUniformDense(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    BipartiteGraph g = RandomUniform(n, n, 0.8, ++seed);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GeneratorUniformDense)->Arg(128)->Arg(512);
+
+void BM_GeneratorChungLu(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    BipartiteGraph g = RandomChungLu(n, n, 4 * n, 2.1, ++seed);
+    benchmark::DoNotOptimize(g);
+  }
+}
+BENCHMARK(BM_GeneratorChungLu)->Arg(1024)->Arg(8192);
+
+void BM_HasEdge(benchmark::State& state) {
+  const BipartiteGraph g = RandomUniform(2048, 2048, 0.01, 3);
+  std::uint32_t l = 0;
+  std::uint32_t r = 0;
+  for (auto _ : state) {
+    l = (l + 131) & 2047;
+    r = (r + 197) & 2047;
+    benchmark::DoNotOptimize(g.HasEdge(l, r));
+  }
+}
+BENCHMARK(BM_HasEdge);
+
+}  // namespace

@@ -1,0 +1,63 @@
+/// Biological bicluster discovery (the paper's sparse-graph motivation):
+/// a gene x condition expression matrix is thresholded into a sparse
+/// bipartite graph; a balanced biclique is a bicluster of genes that
+/// respond uniformly under the same number of conditions. We synthesize a
+/// heavy-tailed background with one implanted co-expression module and
+/// recover it exactly with hbvMBB.
+///
+///   $ ./bio_bicluster [genes] [conditions] [module_size]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "mbb.h"
+
+int main(int argc, char** argv) {
+  using namespace mbb;
+
+  const std::uint32_t genes =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4000;
+  const std::uint32_t conditions =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 600;
+  const std::uint32_t module_size =
+      argc > 3 ? static_cast<std::uint32_t>(std::atoi(argv[3])) : 12;
+
+  std::cout << "expression graph: " << genes << " genes x " << conditions
+            << " conditions, implanted module " << module_size << "x"
+            << module_size << "\n";
+
+  const BipartiteGraph g = RandomSparseWithPlanted(
+      genes, conditions, /*target_edges=*/genes * 4, module_size,
+      /*exponent=*/2.1, /*seed=*/7);
+  std::cout << "edges after thresholding: " << g.num_edges() << "\n";
+
+  // Step-by-step through the paper's pipeline for illustration.
+  const HMbbOutcome heuristic = HMbb(g);
+  std::cout << "step 1 (hMBB): heuristic bicluster size "
+            << heuristic.best.BalancedSize()
+            << (heuristic.solved_exactly ? " — certified optimal (Lemma 5)"
+                                         : "")
+            << "\n";
+  if (!heuristic.solved_exactly) {
+    std::cout << "          residual graph after Lemma 4 reduction: "
+              << heuristic.reduced.NumVertices() << " vertices, "
+              << heuristic.reduced.num_edges() << " edges\n";
+  }
+
+  const MbbResult exact = HbvMbb(g);
+  std::cout << "exact MBB (hbvMBB): " << exact.best.BalancedSize() << "x"
+            << exact.best.BalancedSize() << " bicluster, terminated at S"
+            << exact.stats.terminated_step << "\n";
+
+  std::cout << "genes in module:      ";
+  for (const VertexId v : exact.best.left) std::cout << v << ' ';
+  std::cout << "\nconditions in module: ";
+  for (const VertexId v : exact.best.right) std::cout << v << ' ';
+  std::cout << "\nvalid bicluster: "
+            << (exact.best.IsBicliqueIn(g) ? "ok" : "BROKEN") << "\n";
+
+  if (exact.best.BalancedSize() >= module_size) {
+    std::cout << "implanted module recovered (or exceeded).\n";
+  }
+  return 0;
+}

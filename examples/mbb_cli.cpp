@@ -1,0 +1,199 @@
+/// Command-line front end for the library: load or generate a bipartite
+/// graph, run any of the implemented algorithms, print the result and the
+/// search statistics.
+///
+///   mbb_cli --random 200 200 0.02 7 --algorithm hbv --stats
+///   mbb_cli --input graph.txt --algorithm dense --timeout 30
+///   mbb_cli --dataset github --scale 0.1 --algorithm adp3
+///   mbb_cli --random 32 32 0.9 1 --algorithm mvb
+
+#include <cstring>
+#include <iostream>
+#include <numeric>
+#include <string>
+
+#include "eval/experiment.h"
+#include "mbb.h"
+
+namespace {
+
+using namespace mbb;
+
+void Usage() {
+  std::cout <<
+      "usage: mbb_cli [input] [options]\n"
+      "input (one of):\n"
+      "  --input FILE                KONECT-style edge list (1-based)\n"
+      "  --random NL NR DENSITY SEED uniform random bipartite graph\n"
+      "  --dataset NAME              Table-5 surrogate (see --list)\n"
+      "options:\n"
+      "  --scale X                   surrogate scale factor (default 0.05)\n"
+      "  --algorithm NAME            auto|dense|hbv|bd1..bd5|basic|extbbcl|\n"
+      "                              imbea|fmbe|adp1..adp4|pols|sbmnas|mvb\n"
+      "  --timeout SEC               deadline (default 60)\n"
+      "  --stats                     print search statistics\n"
+      "  --list                      list dataset names and exit\n";
+}
+
+DenseSubgraph WholeDense(const BipartiteGraph& g) {
+  std::vector<VertexId> left(g.num_left());
+  std::iota(left.begin(), left.end(), 0);
+  std::vector<VertexId> right(g.num_right());
+  std::iota(right.begin(), right.end(), 0);
+  return DenseSubgraph::Build(g, left, right);
+}
+
+MbbResult Solve(const std::string& algorithm, const BipartiteGraph& g,
+                SearchLimits limits) {
+  if (algorithm == "auto") {
+    HbvOptions options;
+    options.limits = limits;
+    return FindMaximumBalancedBiclique(g, options);
+  }
+  if (algorithm == "dense") {
+    DenseMbbOptions options;
+    options.limits = limits;
+    return DenseMbbSolve(WholeDense(g), options);
+  }
+  if (algorithm == "basic") {
+    return BasicBbSolve(WholeDense(g), limits);
+  }
+  if (algorithm == "hbv" || algorithm.rfind("bd", 0) == 0) {
+    HbvOptions options;
+    if (algorithm == "bd1") options = HbvOptions::Bd1();
+    if (algorithm == "bd2") options = HbvOptions::Bd2();
+    if (algorithm == "bd3") options = HbvOptions::Bd3();
+    if (algorithm == "bd4") options = HbvOptions::Bd4();
+    if (algorithm == "bd5") options = HbvOptions::Bd5();
+    options.limits = limits;
+    return HbvMbb(g, options);
+  }
+  if (algorithm == "extbbcl") return ExtBbclqSolve(g, limits);
+  if (algorithm == "imbea") return ImbeaSolve(g, limits);
+  if (algorithm == "fmbe") return FmbeSolve(g, limits);
+  if (algorithm.rfind("adp", 0) == 0) {
+    const int index = algorithm.back() - '1';
+    return AdpSolve(g, static_cast<AdpVariant>(index), limits);
+  }
+  if (algorithm == "pols") {
+    PolsOptions options;
+    options.limits = limits;
+    MbbResult r;
+    r.best = PolsSolve(g, options);
+    r.exact = false;
+    return r;
+  }
+  if (algorithm == "sbmnas") {
+    SbmnasOptions options;
+    options.limits = limits;
+    MbbResult r;
+    r.best = SbmnasSolve(g, options);
+    r.exact = false;
+    return r;
+  }
+  if (algorithm == "mvb") {
+    MbbResult r;
+    r.best = MaximumVertexBiclique(g);
+    return r;
+  }
+  throw std::runtime_error("unknown algorithm: " + algorithm);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input_file;
+  std::string dataset;
+  std::string algorithm = "auto";
+  bool random = false;
+  std::uint32_t nl = 0;
+  std::uint32_t nr = 0;
+  double density = 0.0;
+  std::uint64_t seed = 1;
+  double scale = 0.05;
+  double timeout = 60.0;
+  bool stats = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--input" && i + 1 < argc) {
+      input_file = argv[++i];
+    } else if (arg == "--random" && i + 4 < argc) {
+      random = true;
+      nl = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      nr = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      density = std::stod(argv[++i]);
+      seed = std::stoull(argv[++i]);
+    } else if (arg == "--dataset" && i + 1 < argc) {
+      dataset = argv[++i];
+    } else if (arg == "--scale" && i + 1 < argc) {
+      scale = std::stod(argv[++i]);
+    } else if (arg == "--algorithm" && i + 1 < argc) {
+      algorithm = argv[++i];
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      timeout = std::stod(argv[++i]);
+    } else if (arg == "--stats") {
+      stats = true;
+    } else if (arg == "--list") {
+      for (const DatasetSpec& spec : Table5Datasets()) {
+        std::cout << spec.name << "  |L|=" << spec.num_left
+                  << " |R|=" << spec.num_right << " opt=" << spec.optimum
+                  << (spec.tough ? "  (tough)" : "") << "\n";
+      }
+      return 0;
+    } else {
+      Usage();
+      return arg == "--help" ? 0 : 1;
+    }
+  }
+
+  BipartiteGraph g;
+  if (!input_file.empty()) {
+    g = LoadEdgeListFile(input_file);
+  } else if (random) {
+    g = RandomUniform(nl, nr, density, seed);
+  } else if (!dataset.empty()) {
+    const DatasetSpec* spec = FindDataset(dataset);
+    if (spec == nullptr) {
+      std::cerr << "unknown dataset '" << dataset << "' (see --list)\n";
+      return 1;
+    }
+    g = GenerateSurrogate(*spec, scale);
+  } else {
+    Usage();
+    return 1;
+  }
+
+  std::cout << "graph: |L|=" << g.num_left() << " |R|=" << g.num_right()
+            << " |E|=" << g.num_edges() << " density=" << g.Density()
+            << "\n";
+
+  WallTimer timer;
+  const MbbResult result =
+      Solve(algorithm, g, SearchLimits::FromSeconds(timeout));
+  const double seconds = timer.Seconds();
+
+  std::cout << "algorithm: " << algorithm << "\n"
+            << "balanced biclique side size k = "
+            << result.best.BalancedSize() << "\n"
+            << "result: " << result.best.ToString() << "\n"
+            << "valid: " << (result.best.IsBicliqueIn(g) ? "yes" : "NO")
+            << ", exact: " << (result.exact ? "yes" : "no")
+            << ", time: " << seconds << "s\n";
+
+  if (stats) {
+    const SearchStats& s = result.stats;
+    std::cout << "stats: recursions=" << s.recursions
+              << " leaves=" << s.leaves
+              << " bound_prunes=" << s.bound_prunes
+              << " matching_prunes=" << s.matching_prunes
+              << " reductions=" << s.reduction_removed << "+"
+              << s.reduction_promoted << " poly_cases=" << s.poly_cases
+              << "\n       subgraphs total/pruned-size/pruned-deg/searched="
+              << s.subgraphs_total << "/" << s.subgraphs_pruned_size << "/"
+              << s.subgraphs_pruned_degeneracy << "/"
+              << s.subgraphs_searched
+              << " step=S" << s.terminated_step << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// Recommender-style analysis: in a user x item interaction graph, the
+/// maximum balanced biclique is the largest "perfect taste community" —
+/// k users who all interacted with the same k items. This example
+/// contrasts the exact answer (hbvMBB) with the published heuristics
+/// (POLS, SBMNAS) the paper compares against.
+///
+///   $ ./recommender_communities [users] [items]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+#include "mbb.h"
+
+int main(int argc, char** argv) {
+  using namespace mbb;
+
+  const std::uint32_t users =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 20000;
+  const std::uint32_t items =
+      argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 5000;
+
+  const BipartiteGraph g = RandomSparseWithPlanted(
+      users, items, /*target_edges=*/users * 5, /*planted_k=*/15,
+      /*exponent=*/2.05, /*seed=*/321);
+  std::cout << "interaction graph: " << users << " users x " << items
+            << " items, " << g.num_edges() << " interactions\n\n";
+
+  TablePrinter table({"method", "community size", "seconds", "exact"});
+
+  {
+    WallTimer timer;
+    const Biclique pols = PolsSolve(g);
+    table.AddRow({"POLS (heuristic)", std::to_string(pols.BalancedSize()),
+                  FormatSeconds(timer.Seconds()), "no"});
+  }
+  {
+    WallTimer timer;
+    const Biclique sbmnas = SbmnasSolve(g);
+    table.AddRow({"SBMNAS (heuristic)",
+                  std::to_string(sbmnas.BalancedSize()),
+                  FormatSeconds(timer.Seconds()), "no"});
+  }
+  {
+    WallTimer timer;
+    const MbbResult exact = HbvMbb(g);
+    table.AddRow({"hbvMBB (exact)",
+                  std::to_string(exact.best.BalancedSize()),
+                  FormatSeconds(timer.Seconds()),
+                  exact.exact ? "yes (S" +
+                                    std::to_string(
+                                        exact.stats.terminated_step) +
+                                    ")"
+                              : "no"});
+    std::cout << "largest community items: ";
+    for (const VertexId r : exact.best.right) std::cout << r << ' ';
+    std::cout << "\n\n";
+  }
+
+  table.Print(std::cout);
+  return 0;
+}

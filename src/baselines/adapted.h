@@ -1,0 +1,31 @@
+#ifndef MBB_BASELINES_ADAPTED_H_
+#define MBB_BASELINES_ADAPTED_H_
+
+#include "core/stats.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// The four adapted non-trivial baselines of the paper's Table 3: a
+/// state-of-the-art heuristic provides the step-1 incumbent, Lemma 4's
+/// core-based upper bound reduces the graph, and an adapted MBE algorithm
+/// performs the exhaustive search.
+///
+///  | variant | heuristic | exhaustive engine |
+///  |---------|-----------|-------------------|
+///  | adp1    | POLS      | FMBE              |
+///  | adp2    | POLS      | iMBEA             |
+///  | adp3    | SBMNAS    | FMBE              |
+///  | adp4    | SBMNAS    | iMBEA             |
+enum class AdpVariant { kAdp1, kAdp2, kAdp3, kAdp4 };
+
+const char* ToString(AdpVariant variant);
+
+/// Runs the selected adapted baseline. Exact (up to `limits`); result in
+/// `g`'s ids.
+MbbResult AdpSolve(const BipartiteGraph& g, AdpVariant variant,
+                   const SearchLimits& limits = {});
+
+}  // namespace mbb
+
+#endif  // MBB_BASELINES_ADAPTED_H_

@@ -1,0 +1,99 @@
+#include "baselines/brute_force.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+#include "graph/bitset.h"
+
+namespace mbb {
+
+namespace {
+
+/// Plain include/exclude recursion over the small side, no pruning beyond
+/// the empty-common cut — deliberately structured differently from the
+/// library's branch-and-bound searchers so it can serve as an independent
+/// oracle in tests.
+class BruteEnumerator {
+ public:
+  BruteEnumerator(const std::vector<Bitset>& rows, std::uint32_t large_n)
+      : rows_(rows), large_n_(large_n) {}
+
+  void Run() {
+    Bitset all(large_n_, true);
+    std::vector<VertexId> chosen;
+    Dfs(0, chosen, all);
+  }
+
+  std::uint32_t best_size() const { return best_size_; }
+  const std::vector<VertexId>& best_small() const { return best_small_; }
+  const Bitset& best_common() const { return best_common_; }
+
+ private:
+  void Dfs(std::uint32_t level, std::vector<VertexId>& chosen,
+           const Bitset& common) {
+    if (level == rows_.size()) return;
+    // Exclude rows_[level].
+    Dfs(level + 1, chosen, common);
+    // Include rows_[level].
+    Bitset next = common & rows_[level];
+    if (next.None()) return;  // no further inclusion can help
+    chosen.push_back(static_cast<VertexId>(level));
+    const std::uint32_t size = std::min(
+        static_cast<std::uint32_t>(chosen.size()),
+        static_cast<std::uint32_t>(next.Count()));
+    if (size > best_size_) {
+      best_size_ = size;
+      best_small_ = chosen;
+      best_common_ = next;
+    }
+    Dfs(level + 1, chosen, next);
+    chosen.pop_back();
+  }
+
+  const std::vector<Bitset>& rows_;
+  std::uint32_t large_n_;
+  std::uint32_t best_size_ = 0;
+  std::vector<VertexId> best_small_;
+  Bitset best_common_;
+};
+
+}  // namespace
+
+Biclique BruteForceMbb(const BipartiteGraph& g) {
+  const bool left_small = g.num_left() <= g.num_right();
+  const std::uint32_t small_n = left_small ? g.num_left() : g.num_right();
+  const std::uint32_t large_n = left_small ? g.num_right() : g.num_left();
+  assert(small_n <= 24 && "brute force is limited to tiny graphs");
+  if (small_n == 0 || large_n == 0 || g.num_edges() == 0) return {};
+
+  const Side small_side = left_small ? Side::kLeft : Side::kRight;
+  std::vector<Bitset> rows(small_n, Bitset(large_n));
+  for (VertexId v = 0; v < small_n; ++v) {
+    for (const VertexId w : g.Neighbors(small_side, v)) {
+      rows[v].Set(w);
+    }
+  }
+
+  BruteEnumerator enumerator(rows, large_n);
+  enumerator.Run();
+  Biclique out;
+  if (enumerator.best_size() == 0) return out;
+  std::vector<VertexId> small_set = enumerator.best_small();
+  std::vector<VertexId> large_set = enumerator.best_common().ToVector();
+  if (left_small) {
+    out.left = std::move(small_set);
+    out.right = std::move(large_set);
+  } else {
+    out.left = std::move(large_set);
+    out.right = std::move(small_set);
+  }
+  out.MakeBalanced();
+  return out;
+}
+
+std::uint32_t BruteForceMbbSize(const BipartiteGraph& g) {
+  return BruteForceMbb(g).BalancedSize();
+}
+
+}  // namespace mbb

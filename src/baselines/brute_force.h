@@ -1,0 +1,24 @@
+#ifndef MBB_BASELINES_BRUTE_FORCE_H_
+#define MBB_BASELINES_BRUTE_FORCE_H_
+
+#include "graph/biclique.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Exhaustive reference solver: enumerates every subset of the smaller
+/// side and intersects neighbourhoods. Exponential by design and
+/// deliberately structured differently from every branch-and-bound in the
+/// library, so tests can use it as an independent oracle.
+///
+/// Preconditions: `min(|L|, |R|) <= 24` and `max(|L|, |R|) <= 512`
+/// (asserted). Returns a balanced biclique of maximum size (empty when the
+/// graph has no edges).
+Biclique BruteForceMbb(const BipartiteGraph& g);
+
+/// Balanced size of the maximum balanced biclique, via `BruteForceMbb`.
+std::uint32_t BruteForceMbbSize(const BipartiteGraph& g);
+
+}  // namespace mbb
+
+#endif  // MBB_BASELINES_BRUTE_FORCE_H_

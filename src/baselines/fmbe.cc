@@ -1,0 +1,46 @@
+#include "baselines/fmbe.h"
+
+#include <algorithm>
+
+#include "core/basic_bb.h"
+#include "graph/dense_subgraph.h"
+#include "order/vertex_centered.h"
+
+namespace mbb {
+
+MbbResult FmbeSolve(const BipartiteGraph& g, const SearchLimits& limits,
+                    std::uint32_t initial_best) {
+  MbbResult out;
+  out.stats.terminated_step = 0;
+  std::uint32_t best_size = initial_best;
+
+  const VertexOrder order = ComputeVertexOrder(g, VertexOrderKind::kDegree);
+  CenteredWorkspace workspace;
+  for (const std::uint32_t center : order.order) {
+    const CenteredSubgraph s =
+        BuildCenteredSubgraph(g, order, center, workspace);
+    ++out.stats.subgraphs_total;
+    if (std::min(s.same_side.size(), s.other_side.size()) <= best_size) {
+      ++out.stats.subgraphs_pruned_size;
+      continue;
+    }
+    const DenseSubgraph dense = DenseSubgraph::Build(
+        g, s.same_side, s.other_side, s.center_side);
+    ++out.stats.subgraphs_searched;
+    MbbResult scoped =
+        BasicBbSolveAnchored(dense, /*anchor=*/0, limits, best_size);
+    out.stats.Merge(scoped.stats);
+    if (!scoped.exact) {
+      out.exact = false;
+      return out;
+    }
+    if (scoped.best.BalancedSize() > best_size) {
+      best_size = scoped.best.BalancedSize();
+      out.best = dense.ToOriginal(scoped.best);
+    }
+  }
+  out.best.MakeBalanced();
+  return out;
+}
+
+}  // namespace mbb

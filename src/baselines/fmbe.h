@@ -1,0 +1,25 @@
+#ifndef MBB_BASELINES_FMBE_H_
+#define MBB_BASELINES_FMBE_H_
+
+#include "core/stats.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Adapted FMBE [Das & Tirthapura 2019], built the way the paper's §6
+/// constructs its baselines. FMBE's key idea is kept: before enumerating
+/// the bicliques involving a vertex, the search scope is reduced to the
+/// vertex's 2-hop neighbourhood, with a global (non-increasing degree)
+/// total order for duplicate avoidance. The maximality/duplication
+/// bookkeeping of the original is replaced by incumbent-based pruning: a
+/// scope whose sides cannot exceed the best balanced biclique is skipped,
+/// and the per-scope search is an anchored alternating branch-and-bound
+/// with the incumbent as lower bound.
+///
+/// Exact; result in `g`'s ids.
+MbbResult FmbeSolve(const BipartiteGraph& g, const SearchLimits& limits = {},
+                    std::uint32_t initial_best = 0);
+
+}  // namespace mbb
+
+#endif  // MBB_BASELINES_FMBE_H_

@@ -1,0 +1,24 @@
+#ifndef MBB_BASELINES_IMBEA_H_
+#define MBB_BASELINES_IMBEA_H_
+
+#include "core/stats.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Adapted iMBEA [Zhang et al. 2014], constructed the way the paper's §6
+/// builds its non-trivial baselines: the maximal-biclique enumeration is
+/// kept (R-side expansion, A maintained as the exact common neighbourhood
+/// of B, candidate chosen by maximum overlap with A), but maximality and
+/// duplication checking are removed and replaced by incumbent-based
+/// pruning: a branch dies when `min(|A|, |B| + |CR|)` cannot beat the best
+/// balanced biclique found so far, and a candidate `v` is dropped when
+/// `|N(v) ∩ A|` cannot support an improving biclique.
+///
+/// Exact; result in `g`'s ids.
+MbbResult ImbeaSolve(const BipartiteGraph& g, const SearchLimits& limits = {},
+                     std::uint32_t initial_best = 0);
+
+}  // namespace mbb
+
+#endif  // MBB_BASELINES_IMBEA_H_

@@ -1,0 +1,54 @@
+#include "baselines/local_search.h"
+
+#include <algorithm>
+
+namespace mbb {
+
+std::vector<VertexId> CommonNeighbors(const BipartiteGraph& g, Side side,
+                                      std::span<const VertexId> others,
+                                      std::span<const VertexId> exclude,
+                                      std::size_t cap) {
+  std::vector<VertexId> out;
+  if (others.empty()) return out;
+  const Side other_side = Opposite(side);
+  // Scan the adjacency of the smallest-degree anchor.
+  VertexId anchor = others[0];
+  for (const VertexId o : others) {
+    if (g.Degree(other_side, o) < g.Degree(other_side, anchor)) anchor = o;
+  }
+  for (const VertexId w : g.Neighbors(other_side, anchor)) {
+    if (std::find(exclude.begin(), exclude.end(), w) != exclude.end()) {
+      continue;
+    }
+    if (AdjacentToAll(g, side, w, others)) {
+      out.push_back(w);
+      if (out.size() >= cap) break;
+    }
+  }
+  return out;
+}
+
+bool AdjacentToAll(const BipartiteGraph& g, Side side, VertexId v,
+                   std::span<const VertexId> others) {
+  for (const VertexId o : others) {
+    const bool edge =
+        side == Side::kLeft ? g.HasEdge(v, o) : g.HasEdge(o, v);
+    if (!edge) return false;
+  }
+  return true;
+}
+
+Biclique SeedFromAnyEdge(const BipartiteGraph& g) {
+  Biclique out;
+  for (VertexId l = 0; l < g.num_left(); ++l) {
+    const std::span<const VertexId> nbrs = g.Neighbors(Side::kLeft, l);
+    if (!nbrs.empty()) {
+      out.left.push_back(l);
+      out.right.push_back(nbrs[0]);
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace mbb

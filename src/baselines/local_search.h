@@ -1,0 +1,37 @@
+#ifndef MBB_BASELINES_LOCAL_SEARCH_H_
+#define MBB_BASELINES_LOCAL_SEARCH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/biclique.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Shared support for the POLS / SBMNAS local-search heuristics.
+
+/// Vertices on `side` of `g` adjacent to every vertex in `others` (which
+/// live on the opposite side), excluding those in `exclude`. `others` must
+/// be non-empty. At most `cap` results are returned (the scan walks the
+/// adjacency of the smallest-degree member of `others`, so the cost is
+/// O(min_deg * |others| * log)).
+std::vector<VertexId> CommonNeighbors(const BipartiteGraph& g, Side side,
+                                      std::span<const VertexId> others,
+                                      std::span<const VertexId> exclude,
+                                      std::size_t cap);
+
+/// True when vertex `(side, v)` is adjacent to every vertex of `others`
+/// (opposite side).
+bool AdjacentToAll(const BipartiteGraph& g, Side side, VertexId v,
+                   std::span<const VertexId> others);
+
+/// Picks the endpoint pair of an arbitrary edge as a 1x1 starting biclique;
+/// empty when the graph has no edges. Used to seed local search when the
+/// greedy initializer comes back empty.
+Biclique SeedFromAnyEdge(const BipartiteGraph& g);
+
+}  // namespace mbb
+
+#endif  // MBB_BASELINES_LOCAL_SEARCH_H_

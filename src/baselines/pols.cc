@@ -1,0 +1,75 @@
+#include "baselines/pols.h"
+
+#include <algorithm>
+#include <random>
+
+#include "baselines/local_search.h"
+#include "core/heuristic_mbb.h"
+
+namespace mbb {
+
+Biclique PolsSolve(const BipartiteGraph& g, const PolsOptions& options) {
+  // Initial solution: degree greedy, falling back to any edge.
+  Biclique current = GreedyMbb(g, DegreeScores(g));
+  current.MakeBalanced();
+  if (current.Empty()) current = SeedFromAnyEdge(g);
+  if (current.Empty()) return current;  // edgeless graph
+
+  Biclique best = current;
+  std::mt19937_64 rng(options.seed);
+
+  // One-step tabu: the pair removed by the latest perturbation may not be
+  // re-added immediately.
+  VertexId tabu_left = ~VertexId{0};
+  VertexId tabu_right = ~VertexId{0};
+
+  for (std::uint64_t step = 0; step < options.max_steps; ++step) {
+    if (options.limits.DeadlinePassed()) break;
+
+    // Move 1: add a compatible pair (u, v).
+    const std::vector<VertexId> cand_left =
+        CommonNeighbors(g, Side::kLeft, current.right, current.left,
+                        options.candidate_cap);
+    const std::vector<VertexId> cand_right =
+        CommonNeighbors(g, Side::kRight, current.left, current.right,
+                        options.candidate_cap);
+    bool added = false;
+    for (const VertexId u : cand_left) {
+      if (added) break;
+      for (const VertexId v : cand_right) {
+        if (u == tabu_left && v == tabu_right) continue;
+        if (g.HasEdge(u, v)) {
+          current.left.push_back(u);
+          current.right.push_back(v);
+          added = true;
+          break;
+        }
+      }
+    }
+    if (added) {
+      tabu_left = ~VertexId{0};
+      tabu_right = ~VertexId{0};
+      if (current.BalancedSize() > best.BalancedSize()) best = current;
+      continue;
+    }
+
+    // Move 2: pair perturbation — swap out one (u, v) pair. A 1x1
+    // solution with no addable pair is a dead end; stop there.
+    if (current.left.size() <= 1) break;
+    std::uniform_int_distribution<std::size_t> pick_left(
+        0, current.left.size() - 1);
+    std::uniform_int_distribution<std::size_t> pick_right(
+        0, current.right.size() - 1);
+    const std::size_t i = pick_left(rng);
+    const std::size_t j = pick_right(rng);
+    tabu_left = current.left[i];
+    tabu_right = current.right[j];
+    current.left.erase(current.left.begin() + static_cast<std::ptrdiff_t>(i));
+    current.right.erase(current.right.begin() +
+                        static_cast<std::ptrdiff_t>(j));
+  }
+  best.MakeBalanced();
+  return best;
+}
+
+}  // namespace mbb

@@ -1,0 +1,35 @@
+#ifndef MBB_BASELINES_POLS_H_
+#define MBB_BASELINES_POLS_H_
+
+#include <cstdint>
+
+#include "core/stats.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Options for the POLS heuristic reimplementation.
+struct PolsOptions {
+  /// Local-search step budget.
+  std::uint64_t max_steps = 4000;
+  /// Deterministic seed for the perturbation choices.
+  std::uint64_t seed = 42;
+  /// Candidate scan cap per step (keeps steps cheap around hubs).
+  std::size_t candidate_cap = 64;
+  SearchLimits limits;
+};
+
+/// Reimplementation of POLS [Wang, Cai, Yin 2018] — the pair-operation
+/// local search for the maximum balanced biclique: the solution is always
+/// a balanced biclique; moves add one (u, v) pair when both endpoints are
+/// compatible, and otherwise swap out a random pair (pair perturbation)
+/// with a one-step tabu on the removed pair. Used by the paper only as
+/// the step-1 heuristic of the adapted baselines adp1/adp2.
+///
+/// Heuristic: the result is a valid balanced biclique but not necessarily
+/// maximum.
+Biclique PolsSolve(const BipartiteGraph& g, const PolsOptions& options = {});
+
+}  // namespace mbb
+
+#endif  // MBB_BASELINES_POLS_H_

@@ -1,0 +1,120 @@
+#include "baselines/sbmnas.h"
+
+#include <algorithm>
+#include <array>
+#include <random>
+
+#include "baselines/local_search.h"
+#include "core/heuristic_mbb.h"
+
+namespace mbb {
+
+namespace {
+
+/// Adds compatible (u, v) pairs until none remain (the multi-vertex add
+/// phase shared by every neighbourhood move).
+void RefillPairs(const BipartiteGraph& g, Biclique& current,
+                 std::size_t cap) {
+  while (true) {
+    const std::vector<VertexId> cand_left =
+        CommonNeighbors(g, Side::kLeft, current.right, current.left, cap);
+    if (cand_left.empty()) return;
+    const std::vector<VertexId> cand_right =
+        CommonNeighbors(g, Side::kRight, current.left, current.right, cap);
+    if (cand_right.empty()) return;
+    bool added = false;
+    for (const VertexId u : cand_left) {
+      for (const VertexId v : cand_right) {
+        if (g.HasEdge(u, v)) {
+          current.left.push_back(u);
+          current.right.push_back(v);
+          added = true;
+          break;
+        }
+      }
+      if (added) break;
+    }
+    if (!added) return;
+  }
+}
+
+}  // namespace
+
+Biclique SbmnasSolve(const BipartiteGraph& g, const SbmnasOptions& options) {
+  Biclique current = GreedyMbb(g, DegreeScores(g));
+  current.MakeBalanced();
+  if (current.Empty()) current = SeedFromAnyEdge(g);
+  if (current.Empty()) return current;
+
+  RefillPairs(g, current, options.candidate_cap);
+  Biclique best = current;
+  std::mt19937_64 rng(options.seed);
+
+  // Adaptive weights: swap-left, swap-right, drop-pair.
+  std::array<double, 3> weights = {1.0, 1.0, 1.0};
+  constexpr double kReward = 1.3;
+  constexpr double kDecay = 0.95;
+  constexpr double kMin = 0.1;
+  constexpr double kMax = 10.0;
+
+  for (std::uint64_t step = 0; step < options.max_steps; ++step) {
+    if (options.limits.DeadlinePassed()) break;
+    if (current.left.empty()) break;
+
+    const std::uint32_t size_before = current.BalancedSize();
+
+    // Roulette-select a neighbourhood.
+    std::discrete_distribution<int> pick_move(
+        {weights[0], weights[1], weights[2]});
+    const int move = pick_move(rng);
+
+    if (move == 0 || move == 1) {
+      // Swap one vertex on the chosen side for a compatible outsider.
+      const Side side = move == 0 ? Side::kLeft : Side::kRight;
+      std::vector<VertexId>& mine =
+          side == Side::kLeft ? current.left : current.right;
+      const std::vector<VertexId>& other =
+          side == Side::kLeft ? current.right : current.left;
+      std::uniform_int_distribution<std::size_t> pick(0, mine.size() - 1);
+      const std::size_t out_index = pick(rng);
+      const VertexId out_vertex = mine[out_index];
+      mine.erase(mine.begin() + static_cast<std::ptrdiff_t>(out_index));
+      std::vector<VertexId> replacements = CommonNeighbors(
+          g, side, other, mine, options.candidate_cap);
+      std::erase(replacements, out_vertex);
+      if (replacements.empty()) {
+        // No replacement: undo the removal.
+        mine.push_back(out_vertex);
+      } else {
+        std::uniform_int_distribution<std::size_t> pick_in(
+            0, replacements.size() - 1);
+        mine.push_back(replacements[pick_in(rng)]);
+      }
+    } else {
+      // Drop a random pair.
+      if (current.left.size() > 1) {
+        std::uniform_int_distribution<std::size_t> pick_left(
+            0, current.left.size() - 1);
+        std::uniform_int_distribution<std::size_t> pick_right(
+            0, current.right.size() - 1);
+        current.left.erase(current.left.begin() +
+                           static_cast<std::ptrdiff_t>(pick_left(rng)));
+        current.right.erase(current.right.begin() +
+                            static_cast<std::ptrdiff_t>(pick_right(rng)));
+      }
+    }
+
+    RefillPairs(g, current, options.candidate_cap);
+    if (current.BalancedSize() > best.BalancedSize()) best = current;
+
+    // Adaptive update.
+    const bool improved = current.BalancedSize() > size_before;
+    weights[static_cast<std::size_t>(move)] = std::clamp(
+        weights[static_cast<std::size_t>(move)] * (improved ? kReward : kDecay),
+        kMin, kMax);
+  }
+  best.MakeBalanced();
+  return best;
+}
+
+}  // namespace mbb

@@ -1,0 +1,36 @@
+#ifndef MBB_BASELINES_SBMNAS_H_
+#define MBB_BASELINES_SBMNAS_H_
+
+#include <cstdint>
+
+#include "core/stats.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Options for the SBMNAS heuristic reimplementation.
+struct SbmnasOptions {
+  std::uint64_t max_steps = 6000;
+  std::uint64_t seed = 7;
+  std::size_t candidate_cap = 64;
+  SearchLimits limits;
+};
+
+/// Reimplementation of SBMNAS [Li, Hao, Wu 2020] — general swap-based
+/// multiple-neighbourhood adaptive search. Three neighbourhoods operate on
+/// an always-balanced biclique:
+///  * swap-left / swap-right: replace one vertex of a side by a compatible
+///    outside vertex (plateau move that reshapes the neighbourhood);
+///  * drop-pair: remove a random (u, v) pair (perturbation).
+/// After each move the solution is greedily refilled with addable pairs
+/// (the "multiple vertices" aspect). Neighbourhood choice is adaptive:
+/// move weights are rewarded when the post-refill size grows and decayed
+/// otherwise. Used by the paper as the step-1 heuristic of adp3/adp4.
+///
+/// Heuristic: returns a valid balanced biclique, not necessarily maximum.
+Biclique SbmnasSolve(const BipartiteGraph& g,
+                     const SbmnasOptions& options = {});
+
+}  // namespace mbb
+
+#endif  // MBB_BASELINES_SBMNAS_H_

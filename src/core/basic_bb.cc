@@ -1,0 +1,140 @@
+#include "core/basic_bb.h"
+
+#include <algorithm>
+
+namespace mbb {
+
+namespace {
+
+/// Recursive state for Algorithm 1. The recursion works on "role" pairs:
+/// (`a`, `ca`) is the pair being expanded, (`b`, `cb`) the other one; the
+/// roles swap at every inclusion so sides are enlarged in turn. `a_is_left`
+/// records which physical side the `a` role currently denotes.
+class BasicBbSearcher {
+ public:
+  BasicBbSearcher(const DenseSubgraph& g, const SearchLimits& limits,
+                  std::uint32_t initial_best)
+      : g_(g), limits_(limits), best_size_(initial_best) {}
+
+  MbbResult Run(std::vector<VertexId> a, std::vector<VertexId> b, Bitset ca,
+                Bitset cb, bool a_is_left) {
+    a_ = std::move(a);
+    b_ = std::move(b);
+    Rec(std::move(ca), std::move(cb), a_is_left, 0);
+    MbbResult out;
+    out.best = std::move(best_);
+    out.best.MakeBalanced();
+    out.stats = stats_;
+    out.exact = !stats_.timed_out;
+    return out;
+  }
+
+ private:
+  // Returns true when the search must abort (limit fired).
+  bool Rec(Bitset ca, Bitset cb, bool a_is_left, std::uint32_t depth) {
+    ++stats_.recursions;
+    stats_.depth_sum += depth;
+    stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, depth);
+    if (LimitFired()) return true;
+
+    // Bounding (line 1).
+    const std::uint32_t ub = static_cast<std::uint32_t>(
+        std::min(a_.size() + ca.Count(), b_.size() + cb.Count()));
+    if (ub <= best_size_) {
+      ++stats_.bound_prunes;
+      return false;
+    }
+
+    // Maximality check (lines 2-5): the expanded role has no candidates
+    // left. By the alternation invariant |b_| >= |a_|, so min(...) == |a_|.
+    const int u = ca.FindFirst();
+    if (u < 0) {
+      ++stats_.leaves;
+      const std::uint32_t size = static_cast<std::uint32_t>(
+          std::min(a_.size(), b_.size()));
+      if (size > best_size_) {
+        best_size_ = size;
+        best_ = MakeBiclique(a_is_left);
+      }
+      return false;
+    }
+
+    // Branch 1 (line 7): include u, swap roles.
+    {
+      Bitset next_ca = cb & g_.Row(a_is_left ? Side::kLeft : Side::kRight,
+                                   static_cast<VertexId>(u));
+      Bitset next_cb = ca;
+      next_cb.Reset(static_cast<std::size_t>(u));
+      a_.push_back(static_cast<VertexId>(u));
+      std::swap(a_, b_);
+      if (Rec(std::move(next_ca), std::move(next_cb), !a_is_left, depth + 1)) {
+        return true;
+      }
+      std::swap(a_, b_);
+      a_.pop_back();
+    }
+
+    // Branch 2 (line 8): exclude u, keep roles.
+    ca.Reset(static_cast<std::size_t>(u));
+    return Rec(std::move(ca), std::move(cb), a_is_left, depth + 1);
+  }
+
+  Biclique MakeBiclique(bool a_is_left) const {
+    Biclique out;
+    out.left = a_is_left ? a_ : b_;
+    out.right = a_is_left ? b_ : a_;
+    return out;
+  }
+
+  bool LimitFired() {
+    if (limits_.max_recursions != 0 &&
+        stats_.recursions > limits_.max_recursions) {
+      stats_.timed_out = true;
+      return true;
+    }
+    if (limits_.has_deadline && (stats_.recursions & 1023) == 1 &&
+        limits_.DeadlinePassed()) {
+      stats_.timed_out = true;
+      return true;
+    }
+    return false;
+  }
+
+  const DenseSubgraph& g_;
+  const SearchLimits& limits_;
+  std::uint32_t best_size_;
+  std::vector<VertexId> a_;
+  std::vector<VertexId> b_;
+  Biclique best_;
+  SearchStats stats_;
+};
+
+}  // namespace
+
+MbbResult BasicBbSolve(const DenseSubgraph& g, const SearchLimits& limits,
+                       std::uint32_t initial_best) {
+  BasicBbSearcher searcher(g, limits, initial_best);
+  Bitset ca(g.num_left());
+  ca.SetAll();
+  Bitset cb(g.num_right());
+  cb.SetAll();
+  return searcher.Run({}, {}, std::move(ca), std::move(cb),
+                      /*a_is_left=*/true);
+}
+
+MbbResult BasicBbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
+                               const SearchLimits& limits,
+                               std::uint32_t initial_best) {
+  BasicBbSearcher searcher(g, limits, initial_best);
+  // State after "including" the anchor: the roles have swapped, so the
+  // expanding a-role is now the right side with candidates N(anchor), and
+  // the b-role is the left side holding the anchor.
+  Bitset ca = g.LeftRow(anchor);
+  Bitset cb(g.num_left());
+  cb.SetAll();
+  cb.Reset(anchor);
+  return searcher.Run({}, {anchor}, std::move(ca), std::move(cb),
+                      /*a_is_left=*/false);
+}
+
+}  // namespace mbb

@@ -1,0 +1,35 @@
+#ifndef MBB_CORE_BASIC_BB_H_
+#define MBB_CORE_BASIC_BB_H_
+
+#include "core/stats.h"
+#include "graph/dense_subgraph.h"
+
+namespace mbb {
+
+/// The paper's Algorithm 1 (`basicBB`): the plain alternating
+/// branch-and-bound enumeration with only the simple size bound
+/// `2 * min(|A|+|CA|, |B|+|CB|) <= |A*|+|B*|`.
+///
+/// Expansion alternates sides by swapping the (A, CA) / (B, CB) roles at
+/// every inclusion, which keeps every enumerated partial biclique within
+/// one vertex of balanced. Exponential (O*(2^n)); kept as the unoptimized
+/// reference the paper builds denseMBB upon, used by tests as a second
+/// exact oracle and by the bd3 ablation.
+///
+/// `initial_best` is a balanced-size lower bound: only strictly larger
+/// bicliques are reported (`best` stays empty when nothing beats it).
+/// The result is expressed in the subgraph's local ids.
+MbbResult BasicBbSolve(const DenseSubgraph& g,
+                       const SearchLimits& limits = {},
+                       std::uint32_t initial_best = 0);
+
+/// Anchored variant: left-local vertex `anchor` is fixed into `A`, so only
+/// bicliques containing it are enumerated. Used when searching a
+/// vertex-centred subgraph whose centre must participate.
+MbbResult BasicBbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
+                               const SearchLimits& limits = {},
+                               std::uint32_t initial_best = 0);
+
+}  // namespace mbb
+
+#endif  // MBB_CORE_BASIC_BB_H_

@@ -1,0 +1,108 @@
+#include "core/bridge_mbb.h"
+
+#include <algorithm>
+
+#include "order/core_decomposition.h"
+
+namespace mbb {
+
+namespace {
+
+/// Left/right vertex lists of a centred subgraph in the reduced graph's id
+/// space (the centre lives in `left` when its side is kLeft, etc.).
+struct SideLists {
+  const std::vector<VertexId>* left;
+  const std::vector<VertexId>* right;
+};
+
+SideLists Split(const CenteredSubgraph& s) {
+  if (s.center_side == Side::kLeft) {
+    return {&s.same_side, &s.other_side};
+  }
+  return {&s.other_side, &s.same_side};
+}
+
+}  // namespace
+
+BridgeOutcome BridgeMbb(const BipartiteGraph& reduced,
+                        std::uint32_t initial_best_size,
+                        const BridgeOptions& options) {
+  BridgeOutcome out;
+  out.best_size = initial_best_size;
+  out.stats.terminated_step = 2;
+
+  // Line 1-2: order + vertex-centred subgraphs.
+  const VertexOrder order = ComputeVertexOrder(reduced, options.order);
+
+  struct Survivor {
+    CenteredSubgraph subgraph;
+    std::uint32_t degeneracy;  // of the induced subgraph (for re-filter)
+  };
+  std::vector<Survivor> kept;
+
+  CenteredWorkspace workspace;
+  for (const std::uint32_t center : order.order) {
+    CenteredSubgraph s =
+        BuildCenteredSubgraph(reduced, order, center, workspace);
+    ++out.stats.subgraphs_total;
+
+    // Line 4-6: size pruning — a biclique beating the incumbent needs at
+    // least best_size + 1 vertices on each side.
+    const SideLists lists = Split(s);
+    if (std::min(lists.left->size(), lists.right->size()) <=
+        out.best_size) {
+      ++out.stats.subgraphs_pruned_size;
+      continue;
+    }
+
+    // Lines 7-10: degeneracy pruning. A (k+1) x (k+1) biclique forces a
+    // subgraph of minimum degree k+1, so δ(H) <= k rules improvement out.
+    InducedSubgraph induced =
+        reduced.Induce(*lists.left, *lists.right);
+    std::uint32_t h_degeneracy = 0;
+    if (options.use_degeneracy_pruning) {
+      h_degeneracy = ComputeCores(induced.graph).degeneracy;
+      if (h_degeneracy <= out.best_size) {
+        ++out.stats.subgraphs_pruned_degeneracy;
+        continue;
+      }
+    }
+
+    // Lines 11-13: local heuristic on H. Any biclique of H is a biclique of
+    // the reduced graph, so improvements are global.
+    if (options.use_local_heuristic) {
+      const std::vector<std::uint32_t> scores =
+          DegreeScores(induced.graph);
+      Biclique local = GreedyMbb(induced.graph, scores, options.greedy);
+      if (local.BalancedSize() > out.best_size) {
+        out.best_size = local.BalancedSize();
+        out.improved = true;
+        for (VertexId& l : local.left) l = induced.left_to_old[l];
+        for (VertexId& r : local.right) r = induced.right_to_old[r];
+        out.best = std::move(local);
+      }
+    }
+
+    kept.push_back({std::move(s), h_degeneracy});
+  }
+
+  // Re-filter survivors against the final incumbent: heuristic hits later
+  // in the scan can retroactively prune earlier survivors.
+  for (Survivor& survivor : kept) {
+    const SideLists lists = Split(survivor.subgraph);
+    if (std::min(lists.left->size(), lists.right->size()) <=
+        out.best_size) {
+      ++out.stats.subgraphs_pruned_size;
+      continue;
+    }
+    if (options.use_degeneracy_pruning &&
+        survivor.degeneracy <= out.best_size) {
+      ++out.stats.subgraphs_pruned_degeneracy;
+      continue;
+    }
+    out.survivors.push_back(std::move(survivor.subgraph));
+  }
+  return out;
+}
+
+}  // namespace mbb

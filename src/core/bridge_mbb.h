@@ -1,0 +1,55 @@
+#ifndef MBB_CORE_BRIDGE_MBB_H_
+#define MBB_CORE_BRIDGE_MBB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/heuristic_mbb.h"
+#include "core/stats.h"
+#include "graph/bipartite_graph.h"
+#include "order/vertex_centered.h"
+
+namespace mbb {
+
+/// Configuration of the paper's Algorithm 6 (`bridgeMBB`, step 2 of the
+/// sparse framework).
+struct BridgeOptions {
+  /// Total search order for generating vertex-centred subgraphs.
+  /// Bidegeneracy is the paper's choice; degree / degeneracy are the bd4 /
+  /// bd5 ablations.
+  VertexOrderKind order = VertexOrderKind::kBidegeneracy;
+  /// Prune centred subgraphs by their degeneracy (`δ(H) <= |A*|`) — part of
+  /// the core/bicore optimizations the bd2 ablation disables.
+  bool use_degeneracy_pruning = true;
+  /// Run the local core-based greedy on surviving subgraphs to tighten the
+  /// incumbent before verification ("heuLocal" in Figure 4).
+  bool use_local_heuristic = true;
+  GreedyOptions greedy;
+};
+
+/// Outcome of bridgeMBB on the reduced graph.
+struct BridgeOutcome {
+  /// Balanced size of the best biclique known after step 2.
+  std::uint32_t best_size = 0;
+  /// Improvement over the incoming incumbent found by the local heuristic,
+  /// in the reduced graph's ids. `improved == false` means the incumbent
+  /// passed in is still the best known.
+  bool improved = false;
+  Biclique best;
+  /// Centred subgraphs that could not be pruned; step 3 must search them.
+  std::vector<CenteredSubgraph> survivors;
+  SearchStats stats;
+};
+
+/// Runs Algorithm 6: computes the requested vertex order of `reduced`,
+/// streams all vertex-centred subgraphs, prunes by size / degeneracy
+/// against the incumbent, refines the incumbent with a local greedy, and
+/// returns the surviving subgraphs (re-filtered against the final
+/// incumbent).
+BridgeOutcome BridgeMbb(const BipartiteGraph& reduced,
+                        std::uint32_t initial_best_size,
+                        const BridgeOptions& options = {});
+
+}  // namespace mbb
+
+#endif  // MBB_CORE_BRIDGE_MBB_H_

@@ -1,0 +1,354 @@
+#include "core/dense_mbb.h"
+
+#include <algorithm>
+
+#include "core/dynamic_mbb.h"
+
+namespace mbb {
+
+namespace {
+
+/// Restores a vector's size on scope exit; used to undo Lemma 1 promotions
+/// and branch inclusions when unwinding the recursion.
+class SizeGuard {
+ public:
+  explicit SizeGuard(std::vector<VertexId>& v) : v_(v), size_(v.size()) {}
+  ~SizeGuard() { v_.resize(size_); }
+  SizeGuard(const SizeGuard&) = delete;
+  SizeGuard& operator=(const SizeGuard&) = delete;
+
+ private:
+  std::vector<VertexId>& v_;
+  std::size_t size_;
+};
+
+class DenseMbbSearcher {
+ public:
+  DenseMbbSearcher(const DenseSubgraph& g, const DenseMbbOptions& options,
+                   std::uint32_t initial_best)
+      : g_(g), options_(options), best_size_(initial_best) {}
+
+  MbbResult Run(std::vector<VertexId> a, std::vector<VertexId> b, Bitset ca,
+                Bitset cb) {
+    a_ = std::move(a);
+    b_ = std::move(b);
+    Rec(std::move(ca), std::move(cb), 0);
+    MbbResult out;
+    out.best = std::move(best_);
+    out.best.MakeBalanced();
+    out.stats = stats_;
+    out.exact = !stats_.timed_out;
+    return out;
+  }
+
+ private:
+  // Returns true when the search must abort (limit fired). The exclusion
+  // branch is a tail loop so stack depth only grows on inclusions.
+  bool Rec(Bitset ca, Bitset cb, std::uint32_t depth) {
+    SizeGuard guard_a(a_);
+    SizeGuard guard_b(b_);
+
+    while (true) {
+      ++stats_.recursions;
+      stats_.depth_sum += depth;
+      stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, depth);
+      if (LimitFired()) return true;
+
+      // Reduction to fixpoint (Lemmas 1 and 2), interleaved with the
+      // bounding condition and leaf detection.
+      std::uint32_t ca_count = static_cast<std::uint32_t>(ca.Count());
+      std::uint32_t cb_count = static_cast<std::uint32_t>(cb.Count());
+      while (true) {
+        const std::uint32_t potential_a =
+            static_cast<std::uint32_t>(a_.size()) + ca_count;
+        const std::uint32_t potential_b =
+            static_cast<std::uint32_t>(b_.size()) + cb_count;
+        if (std::min(potential_a, potential_b) <= best_size_) {
+          ++stats_.bound_prunes;
+          return false;
+        }
+        if (ca_count == 0 || cb_count == 0) {
+          RecordLeaf(ca, cb);
+          return false;
+        }
+        if (!options_.use_reductions) break;
+
+        bool changed = false;
+        // Left candidates.
+        for (int u = ca.FindFirst(); u >= 0; u = ca.FindNext(u)) {
+          const std::uint32_t du = static_cast<std::uint32_t>(
+              g_.LeftRow(static_cast<VertexId>(u)).CountAnd(cb));
+          if (du == cb_count) {
+            a_.push_back(static_cast<VertexId>(u));
+            ca.Reset(static_cast<std::size_t>(u));
+            --ca_count;
+            ++stats_.reduction_promoted;
+            changed = true;
+          } else if (static_cast<std::uint32_t>(b_.size()) + du <=
+                     best_size_) {
+            ca.Reset(static_cast<std::size_t>(u));
+            --ca_count;
+            ++stats_.reduction_removed;
+            changed = true;
+          }
+        }
+        // Right candidates.
+        for (int v = cb.FindFirst(); v >= 0; v = cb.FindNext(v)) {
+          const std::uint32_t dv = static_cast<std::uint32_t>(
+              g_.RightRow(static_cast<VertexId>(v)).CountAnd(ca));
+          if (dv == ca_count) {
+            b_.push_back(static_cast<VertexId>(v));
+            cb.Reset(static_cast<std::size_t>(v));
+            --cb_count;
+            ++stats_.reduction_promoted;
+            changed = true;
+          } else if (static_cast<std::uint32_t>(a_.size()) + dv <=
+                     best_size_) {
+            cb.Reset(static_cast<std::size_t>(v));
+            --cb_count;
+            ++stats_.reduction_removed;
+            changed = true;
+          }
+        }
+        if (!changed) break;
+      }
+
+      // The reduction loop exits either via return or with both candidate
+      // sides non-empty; re-derive the branching information and collect
+      // the candidate degree profiles for the feasibility bound.
+      Side branch_side = Side::kLeft;
+      VertexId branch_vertex = 0;
+      std::uint32_t max_missing = 0;
+      std::uint32_t nonfull_left = 0;
+      std::uint32_t nonfull_right = 0;
+      for (int u = ca.FindFirst(); u >= 0; u = ca.FindNext(u)) {
+        const std::uint32_t du = static_cast<std::uint32_t>(
+            g_.LeftRow(static_cast<VertexId>(u)).CountAnd(cb));
+        const std::uint32_t missing = cb_count - du;
+        nonfull_left += missing > 0 ? 1 : 0;
+        if (missing > max_missing) {
+          max_missing = missing;
+          branch_side = Side::kLeft;
+          branch_vertex = static_cast<VertexId>(u);
+        }
+      }
+      for (int v = cb.FindFirst(); v >= 0; v = cb.FindNext(v)) {
+        const std::uint32_t dv = static_cast<std::uint32_t>(
+            g_.RightRow(static_cast<VertexId>(v)).CountAnd(ca));
+        const std::uint32_t missing = ca_count - dv;
+        nonfull_right += missing > 0 ? 1 : 0;
+        if (missing > max_missing) {
+          max_missing = missing;
+          branch_side = Side::kRight;
+          branch_vertex = static_cast<VertexId>(v);
+        }
+      }
+
+      // Matching (König) bound — one of the paper's unstated "obvious
+      // prunings" (§4.2 notes the obvious prunings are omitted for space).
+      // A biclique A' x B' inside the candidates forces (CA \ A') ∪
+      // (CB \ B') to be a vertex cover of the candidates' bipartite
+      // complement, so by König a + b <= |CA| + |CB| - ν(complement).
+      // In the dense regime the complement is sparse, making ν cheap to
+      // compute and the bound sharp; it is exactly what turns the
+      // near-polynomial behaviour of Table 4 into practice.
+      //
+      // The bound can only fire when ν reaches `needed`; ν is capped by
+      // the number of non-fully-connected vertices per side, so the whole
+      // computation is skipped when unreachable and aborted early once
+      // `needed` is matched.
+      if (options_.use_matching_bound) {
+        const std::uint32_t numerator = static_cast<std::uint32_t>(
+            a_.size() + b_.size()) + ca_count + cb_count;
+        const std::uint32_t needed = numerator > 2 * best_size_
+                                         ? numerator - 2 * best_size_
+                                         : 0;
+        if (needed > 0 &&
+            needed <= std::min(nonfull_left, nonfull_right)) {
+          const std::uint32_t matching =
+              ComplementMatching(ca, cb, needed);
+          if (matching >= needed) {
+            ++stats_.matching_prunes;
+            return false;
+          }
+        }
+      }
+
+      // Polynomially solvable case (Lemma 3 / Algorithm 2).
+      if (options_.use_poly_case && max_missing <= 2) {
+        ++stats_.poly_cases;
+        bool polynomial = false;
+        const DynamicMbbOutcome outcome = TryDynamicMbb(
+            g_, a_, b_, ca, cb, best_size_, &polynomial);
+        if (outcome.improved) {
+          best_ = outcome.best;
+          best_size_ = best_.BalancedSize();
+        }
+        return false;
+      }
+
+      if (!options_.use_missing_branching) {
+        // Naive branching: first candidate of the larger candidate side.
+        if (ca_count >= cb_count) {
+          branch_side = Side::kLeft;
+          branch_vertex = static_cast<VertexId>(ca.FindFirst());
+        } else {
+          branch_side = Side::kRight;
+          branch_vertex = static_cast<VertexId>(cb.FindFirst());
+        }
+      }
+
+      // Exclusion branch first (recursive call): excluding the vertex with
+      // the most missing neighbours makes the candidate subgraph denser, so
+      // this branch converges to the polynomial case fast and returns with
+      // a near-optimal incumbent that then prunes the inclusion branch.
+      {
+        Bitset next_ca = ca;
+        Bitset next_cb = cb;
+        (branch_side == Side::kLeft ? next_ca : next_cb)
+            .Reset(branch_vertex);
+        if (Rec(std::move(next_ca), std::move(next_cb), depth + 1)) {
+          return true;
+        }
+      }
+
+      // Inclusion branch: continue in this frame.
+      if (branch_side == Side::kLeft) {
+        a_.push_back(branch_vertex);
+        ca.Reset(branch_vertex);
+        cb &= g_.LeftRow(branch_vertex);
+      } else {
+        b_.push_back(branch_vertex);
+        cb.Reset(branch_vertex);
+        ca &= g_.RightRow(branch_vertex);
+      }
+      ++depth;
+    }
+  }
+
+  /// One candidate side is empty: by the search invariant every remaining
+  /// candidate on the other side is adjacent to all fixed vertices, so the
+  /// whole candidate set can be absorbed at once.
+  void RecordLeaf(const Bitset& ca, const Bitset& cb) {
+    ++stats_.leaves;
+    Biclique candidate;
+    candidate.left = a_;
+    candidate.right = b_;
+    ca.ForEach([&candidate](std::size_t u) {
+      candidate.left.push_back(static_cast<VertexId>(u));
+    });
+    cb.ForEach([&candidate](std::size_t v) {
+      candidate.right.push_back(static_cast<VertexId>(v));
+    });
+    if (candidate.BalancedSize() > best_size_) {
+      best_size_ = candidate.BalancedSize();
+      best_ = std::move(candidate);
+    }
+  }
+
+  bool LimitFired() {
+    if (options_.limits.max_recursions != 0 &&
+        stats_.recursions > options_.limits.max_recursions) {
+      stats_.timed_out = true;
+      return true;
+    }
+    if (options_.limits.has_deadline && (stats_.recursions & 1023) == 1 &&
+        options_.limits.DeadlinePassed()) {
+      stats_.timed_out = true;
+      return true;
+    }
+    return false;
+  }
+
+  /// Maximum matching of the bipartite complement restricted to the
+  /// candidate sets, via Kuhn's augmenting paths. Only vertices that miss
+  /// at least one cross neighbour participate. Stops as soon as `target`
+  /// edges are matched (the caller only cares whether ν >= target).
+  std::uint32_t ComplementMatching(const Bitset& ca, const Bitset& cb,
+                                   std::uint32_t target) {
+    if (match_of_right_.size() < g_.num_right()) {
+      match_of_right_.assign(g_.num_right(), -1);
+      kuhn_seen_.assign(g_.num_right(), 0);
+    }
+    comp_left_.clear();
+    comp_adj_.clear();
+    for (int u = ca.FindFirst(); u >= 0; u = ca.FindNext(u)) {
+      const Bitset missing =
+          Bitset::AndNot(cb, g_.LeftRow(static_cast<VertexId>(u)));
+      if (missing.None()) continue;
+      comp_left_.push_back(static_cast<VertexId>(u));
+      comp_adj_.emplace_back(missing.ToVector());
+    }
+
+    std::uint32_t matched = 0;
+    touched_right_.clear();
+    for (std::size_t i = 0; i < comp_left_.size() && matched < target; ++i) {
+      ++kuhn_round_;
+      if (TryAugment(i)) ++matched;
+    }
+    for (const VertexId v : touched_right_) match_of_right_[v] = -1;
+    return matched;
+  }
+
+  // Augmenting-path DFS over complement adjacency; `kuhn_round_` stamps
+  // visited right vertices.
+  bool TryAugment(std::size_t left_index) {
+    for (const std::uint32_t v : comp_adj_[left_index]) {
+      if (kuhn_seen_[v] == kuhn_round_) continue;
+      kuhn_seen_[v] = kuhn_round_;
+      if (match_of_right_[v] < 0) {
+        match_of_right_[v] = static_cast<std::int32_t>(left_index);
+        touched_right_.push_back(static_cast<VertexId>(v));
+        return true;
+      }
+      if (TryAugment(static_cast<std::size_t>(match_of_right_[v]))) {
+        match_of_right_[v] = static_cast<std::int32_t>(left_index);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const DenseSubgraph& g_;
+  const DenseMbbOptions& options_;
+  std::uint32_t best_size_;
+  std::vector<VertexId> a_;
+  std::vector<VertexId> b_;
+  // Scratch state for the complement matching bound.
+  std::vector<VertexId> comp_left_;
+  std::vector<std::vector<std::uint32_t>> comp_adj_;
+  std::vector<std::int32_t> match_of_right_;
+  std::vector<std::uint32_t> kuhn_seen_;
+  std::vector<VertexId> touched_right_;
+  std::uint32_t kuhn_round_ = 0;
+  Biclique best_;
+  SearchStats stats_;
+};
+
+}  // namespace
+
+MbbResult DenseMbbSolve(const DenseSubgraph& g, const DenseMbbOptions& options,
+                        std::uint32_t initial_best) {
+  DenseMbbSearcher searcher(g, options, initial_best);
+  Bitset ca(g.num_left());
+  ca.SetAll();
+  Bitset cb(g.num_right());
+  cb.SetAll();
+  return searcher.Run({}, {}, std::move(ca), std::move(cb));
+}
+
+MbbResult DenseMbbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
+                                const DenseMbbOptions& options,
+                                std::uint32_t initial_best) {
+  DenseMbbSearcher searcher(g, options, initial_best);
+  Bitset ca(g.num_left());
+  ca.SetAll();
+  ca.Reset(anchor);
+  // B-side candidates are restricted to the anchor's neighbours so the
+  // biclique invariant (every candidate adjacent to all fixed vertices)
+  // holds from the start.
+  Bitset cb = g.LeftRow(anchor);
+  return searcher.Run({anchor}, {}, std::move(ca), std::move(cb));
+}
+
+}  // namespace mbb

@@ -1,0 +1,129 @@
+#include "core/dynamic_mbb.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mbb {
+
+namespace {
+
+/// One cell of the combination DP: after processing some prefix of the
+/// components, an achievable total (a, b) with reconstruction info.
+struct Cell {
+  std::uint32_t b = 0;          // best b for this a at this layer
+  std::uint32_t prev_a = 0;     // a before this component's contribution
+  std::uint32_t pick_a = 0;     // the component instance used
+  std::uint32_t pick_b = 0;
+  bool reachable = false;
+};
+
+}  // namespace
+
+DynamicMbbOutcome DynamicMbbSolve(const DenseSubgraph& g,
+                                  std::span<const VertexId> partial_a,
+                                  std::span<const VertexId> partial_b,
+                                  const ComplementDecomposition& dec,
+                                  std::uint32_t lower_bound) {
+  DynamicMbbOutcome out;
+  const std::uint32_t base_a = static_cast<std::uint32_t>(
+      partial_a.size() + dec.full_left.size());
+  const std::uint32_t base_b = static_cast<std::uint32_t>(
+      partial_b.size() + dec.full_right.size());
+
+  // Upper bound of the left total across all layers: base plus every
+  // component's maximum possible left contribution.
+  std::uint32_t max_extra_a = 0;
+  for (const ComplementComponent& comp : dec.components) {
+    std::uint32_t comp_left = 0;
+    for (const ComplementVertex& v : comp.vertices) {
+      comp_left += v.side == Side::kLeft ? 1 : 0;
+    }
+    max_extra_a += comp_left;
+  }
+  const std::uint32_t width = max_extra_a + 1;  // extra-a in [0, width)
+
+  // layers[k][extra_a] describes the best state after components [0, k).
+  std::vector<std::vector<Cell>> layers;
+  layers.reserve(dec.components.size() + 1);
+  layers.emplace_back(width);
+  layers[0][0] = Cell{0, 0, 0, 0, true};
+
+  for (const ComplementComponent& comp : dec.components) {
+    const std::vector<ParetoPoint> frontier = ComponentFrontier(comp);
+    const std::vector<Cell>& prev = layers.back();
+    std::vector<Cell> next(width);
+    for (std::uint32_t a = 0; a < width; ++a) {
+      if (!prev[a].reachable) continue;
+      for (const ParetoPoint& f : frontier) {
+        const std::uint32_t na = a + f.first;
+        const std::uint32_t nb = prev[a].b + f.second;
+        if (na >= width) continue;
+        if (!next[na].reachable || nb > next[na].b) {
+          next[na] = Cell{nb, a, f.first, f.second, true};
+        }
+      }
+    }
+    layers.push_back(std::move(next));
+  }
+
+  // Pick the reachable total maximizing min(base_a + a, base_b + b).
+  const std::vector<Cell>& last = layers.back();
+  std::uint32_t best_min = 0;
+  std::int64_t best_a = -1;
+  for (std::uint32_t a = 0; a < width; ++a) {
+    if (!last[a].reachable) continue;
+    const std::uint32_t value =
+        std::min(base_a + a, base_b + last[a].b);
+    if (best_a < 0 || value > best_min) {
+      best_min = value;
+      best_a = a;
+    }
+  }
+  if (best_a < 0 || best_min <= lower_bound) return out;
+
+  // Reconstruct: walk the layers backwards collecting one realized
+  // instance per component.
+  Biclique result;
+  result.left.assign(partial_a.begin(), partial_a.end());
+  result.right.assign(partial_b.begin(), partial_b.end());
+  result.left.insert(result.left.end(), dec.full_left.begin(),
+                     dec.full_left.end());
+  result.right.insert(result.right.end(), dec.full_right.begin(),
+                      dec.full_right.end());
+
+  std::uint32_t a_cursor = static_cast<std::uint32_t>(best_a);
+  for (std::size_t k = dec.components.size(); k-- > 0;) {
+    const Cell& cell = layers[k + 1][a_cursor];
+    if (cell.pick_a != 0 || cell.pick_b != 0) {
+      const std::vector<ComplementVertex> chosen =
+          RealizeInstance(dec.components[k], cell.pick_a, cell.pick_b);
+      for (const ComplementVertex& v : chosen) {
+        if (v.side == Side::kLeft) {
+          result.left.push_back(v.id);
+        } else {
+          result.right.push_back(v.id);
+        }
+      }
+    }
+    a_cursor = cell.prev_a;
+  }
+
+  result.MakeBalanced();
+  out.improved = true;
+  out.best = std::move(result);
+  (void)g;
+  return out;
+}
+
+DynamicMbbOutcome TryDynamicMbb(const DenseSubgraph& g,
+                                std::span<const VertexId> partial_a,
+                                std::span<const VertexId> partial_b,
+                                const Bitset& ca, const Bitset& cb,
+                                std::uint32_t lower_bound, bool* polynomial) {
+  const ComplementDecomposition dec = DecomposeComplement(g, ca, cb);
+  if (polynomial != nullptr) *polynomial = dec.lemma3_satisfied;
+  if (!dec.lemma3_satisfied) return {};
+  return DynamicMbbSolve(g, partial_a, partial_b, dec, lower_bound);
+}
+
+}  // namespace mbb

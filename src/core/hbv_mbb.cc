@@ -1,0 +1,119 @@
+#include "core/hbv_mbb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/dense_mbb.h"
+
+namespace mbb {
+
+namespace {
+
+/// Identity reduction for variants that skip step 1's graph reduction.
+InducedSubgraph IdentityInduced(const BipartiteGraph& g) {
+  std::vector<VertexId> left(g.num_left());
+  std::iota(left.begin(), left.end(), 0);
+  std::vector<VertexId> right(g.num_right());
+  std::iota(right.begin(), right.end(), 0);
+  return g.Induce(left, right);
+}
+
+}  // namespace
+
+MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
+  MbbResult out;
+
+  // ---- Step 1: heuristic + reduction (Algorithm 5). -------------------
+  Biclique best_original;  // incumbent in g's ids
+  BipartiteGraph reduced;
+  std::vector<VertexId> left_map;
+  std::vector<VertexId> right_map;
+
+  if (options.use_heuristic && options.use_core_optimizations) {
+    HMbbOutcome h = HMbb(g, options.greedy);
+    out.stats.Merge(h.stats);
+    best_original = std::move(h.best);
+    if (h.solved_exactly) {
+      out.best = std::move(best_original);
+      out.best.MakeBalanced();
+      out.stats.terminated_step = 1;
+      return out;
+    }
+    reduced = std::move(h.reduced);
+    left_map = std::move(h.left_map);
+    right_map = std::move(h.right_map);
+  } else {
+    if (options.use_heuristic) {
+      // Heuristic without the core machinery: greedy only, no reduction,
+      // no Lemma 5 certificate.
+      best_original = GreedyMbb(g, DegreeScores(g), options.greedy);
+    }
+    InducedSubgraph identity = IdentityInduced(g);
+    reduced = std::move(identity.graph);
+    left_map = std::move(identity.left_to_old);
+    right_map = std::move(identity.right_to_old);
+  }
+  std::uint32_t best_size = best_original.BalancedSize();
+
+  const auto to_original = [&left_map, &right_map](Biclique b) {
+    for (VertexId& l : b.left) l = left_map[l];
+    for (VertexId& r : b.right) r = right_map[r];
+    return b;
+  };
+
+  // ---- Step 2: bridge to locally dense subgraphs (Algorithm 6). -------
+  BridgeOptions bridge_options;
+  bridge_options.order = options.order;
+  bridge_options.use_degeneracy_pruning = options.use_core_optimizations;
+  bridge_options.greedy = options.greedy;
+  BridgeOutcome bridge = BridgeMbb(reduced, best_size, bridge_options);
+  out.stats.Merge(bridge.stats);
+  if (bridge.improved) {
+    best_original = to_original(std::move(bridge.best));
+    best_size = bridge.best_size;
+  }
+  if (bridge.survivors.empty()) {
+    out.best = std::move(best_original);
+    out.best.MakeBalanced();
+    out.stats.terminated_step =
+        std::max(out.stats.terminated_step, 2);
+    return out;
+  }
+
+  // ---- Step 3: verification (Algorithm 8). ----------------------------
+  VerifyOptions verify_options;
+  verify_options.use_core_reduction = options.use_core_optimizations;
+  verify_options.use_dense_search = options.use_dense_optimizations;
+  verify_options.dense.limits = options.limits;
+  VerifyOutcome verify =
+      VerifyMbb(reduced, best_size, bridge.survivors, verify_options);
+  out.stats.Merge(verify.stats);
+  out.exact = verify.exact;
+  if (verify.improved) {
+    best_original = to_original(std::move(verify.best));
+  }
+  out.best = std::move(best_original);
+  out.best.MakeBalanced();
+  out.stats.terminated_step = 3;
+  return out;
+}
+
+MbbResult FindMaximumBalancedBiclique(const BipartiteGraph& g,
+                                      const HbvOptions& options,
+                                      double dense_threshold) {
+  const std::uint32_t n = g.NumVertices();
+  if (n == 0) return {};
+  if (g.Density() >= dense_threshold) {
+    std::vector<VertexId> left(g.num_left());
+    std::iota(left.begin(), left.end(), 0);
+    std::vector<VertexId> right(g.num_right());
+    std::iota(right.begin(), right.end(), 0);
+    const DenseSubgraph dense = DenseSubgraph::Build(g, left, right);
+    DenseMbbOptions dense_options;
+    dense_options.limits = options.limits;
+    return DenseMbbSolve(dense, dense_options);
+  }
+  return HbvMbb(g, options);
+}
+
+}  // namespace mbb

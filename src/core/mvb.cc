@@ -1,0 +1,56 @@
+#include "core/mvb.h"
+
+#include <vector>
+
+#include "order/matching.h"
+
+namespace mbb {
+
+Biclique MaximumVertexBiclique(const BipartiteGraph& g) {
+  const std::uint32_t nl = g.num_left();
+  const std::uint32_t nr = g.num_right();
+  if (nl == 0 || nr == 0) {
+    Biclique all;
+    for (VertexId l = 0; l < nl; ++l) all.left.push_back(l);
+    for (VertexId r = 0; r < nr; ++r) all.right.push_back(r);
+    return all;
+  }
+
+  // Bipartite complement.
+  std::vector<Edge> complement_edges;
+  complement_edges.reserve(static_cast<std::size_t>(nl) * nr -
+                           g.num_edges());
+  std::vector<bool> row(nr);
+  for (VertexId l = 0; l < nl; ++l) {
+    std::fill(row.begin(), row.end(), false);
+    for (const VertexId r : g.Neighbors(Side::kLeft, l)) row[r] = true;
+    for (VertexId r = 0; r < nr; ++r) {
+      if (!row[r]) complement_edges.emplace_back(l, r);
+    }
+  }
+  const BipartiteGraph complement =
+      BipartiteGraph::FromEdges(nl, nr, std::move(complement_edges));
+
+  const MaximumMatching matching = HopcroftKarp(complement);
+  const VertexCover cover = KonigCover(complement, matching);
+
+  std::vector<bool> in_cover_left(nl, false);
+  for (const VertexId l : cover.left) in_cover_left[l] = true;
+  std::vector<bool> in_cover_right(nr, false);
+  for (const VertexId r : cover.right) in_cover_right[r] = true;
+
+  Biclique out;
+  for (VertexId l = 0; l < nl; ++l) {
+    if (!in_cover_left[l]) out.left.push_back(l);
+  }
+  for (VertexId r = 0; r < nr; ++r) {
+    if (!in_cover_right[r]) out.right.push_back(r);
+  }
+  return out;
+}
+
+std::uint32_t MvbBalancedUpperBound(const BipartiteGraph& g) {
+  return MaximumVertexBiclique(g).TotalSize() / 2;
+}
+
+}  // namespace mbb

@@ -1,0 +1,31 @@
+#ifndef MBB_CORE_MVB_H_
+#define MBB_CORE_MVB_H_
+
+#include "graph/biclique.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Maximum Vertex Biclique: the biclique maximizing `|A| + |B|` with no
+/// balance constraint. Polynomial — §7 of the paper recounts the classic
+/// reduction: `(A, B)` is a biclique of `G` iff `(L \ A) ∪ (R \ B)` is a
+/// vertex cover of the bipartite complement, so by König
+/// `max |A|+|B| = |L| + |R| − ν(complement)`.
+///
+/// Builds the complement explicitly: O(|L| * |R|) time/space, intended for
+/// dense or moderate-size graphs (the same regime where the MVB value is
+/// interesting as an upper bound on 2x the balanced optimum).
+///
+/// The returned biclique maximizes `|A| + |B|`; note `(L, ∅)` is a valid
+/// biclique by the definition, so the result may be one-sided when the
+/// graph is sparse.
+Biclique MaximumVertexBiclique(const BipartiteGraph& g);
+
+/// Upper bound on the *balanced* side size implied by MVB:
+/// `⌊(|A|+|B|)/2⌋` of the maximum vertex biclique. Every balanced
+/// biclique of side k has `2k` vertices, so `k <= MvbBalancedUpperBound`.
+std::uint32_t MvbBalancedUpperBound(const BipartiteGraph& g);
+
+}  // namespace mbb
+
+#endif  // MBB_CORE_MVB_H_

@@ -1,0 +1,25 @@
+#include "core/stats.h"
+
+#include <algorithm>
+
+namespace mbb {
+
+void SearchStats::Merge(const SearchStats& other) {
+  recursions += other.recursions;
+  leaves += other.leaves;
+  bound_prunes += other.bound_prunes;
+  reduction_removed += other.reduction_removed;
+  reduction_promoted += other.reduction_promoted;
+  poly_cases += other.poly_cases;
+  matching_prunes += other.matching_prunes;
+  depth_sum += other.depth_sum;
+  max_depth = std::max(max_depth, other.max_depth);
+  subgraphs_total += other.subgraphs_total;
+  subgraphs_pruned_size += other.subgraphs_pruned_size;
+  subgraphs_pruned_degeneracy += other.subgraphs_pruned_degeneracy;
+  subgraphs_searched += other.subgraphs_searched;
+  terminated_step = std::max(terminated_step, other.terminated_step);
+  timed_out = timed_out || other.timed_out;
+}
+
+}  // namespace mbb

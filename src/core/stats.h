@@ -1,0 +1,84 @@
+#ifndef MBB_CORE_STATS_H_
+#define MBB_CORE_STATS_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "graph/biclique.h"
+
+namespace mbb {
+
+/// Resource limits shared by every exact searcher in the library. Searches
+/// poll the deadline cooperatively (every few thousand recursions), so
+/// overshoot is bounded and no threads are involved.
+struct SearchLimits {
+  std::chrono::steady_clock::time_point deadline{};
+  bool has_deadline = false;
+  /// 0 means unlimited. Mainly used by tests for failure injection.
+  std::uint64_t max_recursions = 0;
+
+  static SearchLimits None() { return {}; }
+
+  static SearchLimits FromSeconds(double seconds) {
+    SearchLimits limits;
+    limits.has_deadline = true;
+    limits.deadline = std::chrono::steady_clock::now() +
+                      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double>(seconds));
+    return limits;
+  }
+
+  bool DeadlinePassed() const {
+    return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+};
+
+/// Counters recorded by the searches. Powers the paper's Figure 5 (average
+/// search depth) and the breakdown experiments, and doubles as the
+/// RocksDB-style statistics object for diagnosing pruning behaviour.
+struct SearchStats {
+  std::uint64_t recursions = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t bound_prunes = 0;
+  std::uint64_t reduction_removed = 0;    // Lemma 2 deletions
+  std::uint64_t reduction_promoted = 0;   // Lemma 1 promotions
+  std::uint64_t poly_cases = 0;           // Algorithm 2 dispatches
+  std::uint64_t matching_prunes = 0;      // König-bound cuts (denseMBB)
+  std::uint64_t depth_sum = 0;            // summed over recursion entries
+  std::uint64_t max_depth = 0;
+
+  // Sparse pipeline (Algorithms 4, 6, 8).
+  std::uint64_t subgraphs_total = 0;
+  std::uint64_t subgraphs_pruned_size = 0;
+  std::uint64_t subgraphs_pruned_degeneracy = 0;
+  std::uint64_t subgraphs_searched = 0;
+  /// Which step of Algorithm 4 produced + certified the final answer
+  /// (1 = heuristic/reduction, 2 = bridge, 3 = verification); 0 = n/a.
+  int terminated_step = 0;
+
+  bool timed_out = false;
+
+  double AverageDepth() const {
+    return recursions == 0
+               ? 0.0
+               : static_cast<double>(depth_sum) / static_cast<double>(recursions);
+  }
+
+  /// Accumulates `other` into this object (terminated_step/timed_out are
+  /// combined by max / logical-or).
+  void Merge(const SearchStats& other);
+};
+
+/// Outcome of an exact (or heuristic) MBB computation. `best` is always a
+/// balanced biclique (possibly empty when an initial lower bound was given
+/// and could not be improved). `exact` is false when a limit fired before
+/// the search space was exhausted.
+struct MbbResult {
+  Biclique best;
+  SearchStats stats;
+  bool exact = true;
+};
+
+}  // namespace mbb
+
+#endif  // MBB_CORE_STATS_H_

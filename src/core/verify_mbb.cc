@@ -1,0 +1,105 @@
+#include "core/verify_mbb.h"
+
+#include <algorithm>
+
+#include "core/basic_bb.h"
+#include "order/core_decomposition.h"
+
+namespace mbb {
+
+VerifyOutcome VerifyMbb(const BipartiteGraph& reduced,
+                        std::uint32_t initial_best_size,
+                        std::span<const CenteredSubgraph> survivors,
+                        const VerifyOptions& options) {
+  VerifyOutcome out;
+  out.best_size = initial_best_size;
+  out.stats.terminated_step = 3;
+
+  for (const CenteredSubgraph& s : survivors) {
+    // Stale pruning: the incumbent may have grown since step 2.
+    if (std::min(s.same_side.size(), s.other_side.size()) <= out.best_size) {
+      ++out.stats.subgraphs_pruned_size;
+      continue;
+    }
+
+    // The subgraph is canonicalized so the centre is left-local 0: "left"
+    // is the centre's side.
+    std::vector<VertexId> center_side_vertices = s.same_side;
+    std::vector<VertexId> other_side_vertices = s.other_side;
+
+    if (options.use_core_reduction) {
+      // Line 2: reduce H to its (best_size+1)-core. Skip the subgraph
+      // entirely when the centre falls out — bicliques not containing the
+      // centre are covered by other centred subgraphs.
+      const std::vector<VertexId>* left_list = &center_side_vertices;
+      const std::vector<VertexId>* right_list = &other_side_vertices;
+      if (s.center_side == Side::kRight) std::swap(left_list, right_list);
+      const InducedSubgraph induced =
+          reduced.Induce(*left_list, *right_list);
+      const CoreDecomposition cores = ComputeCores(induced.graph);
+      if (cores.degeneracy <= out.best_size) {
+        ++out.stats.subgraphs_pruned_degeneracy;
+        continue;
+      }
+      std::vector<VertexId> kept_left;
+      std::vector<VertexId> kept_right;
+      for (VertexId l = 0; l < induced.graph.num_left(); ++l) {
+        if (cores.core[induced.graph.GlobalIndex(Side::kLeft, l)] >
+            out.best_size) {
+          kept_left.push_back(induced.left_to_old[l]);
+        }
+      }
+      for (VertexId r = 0; r < induced.graph.num_right(); ++r) {
+        if (cores.core[induced.graph.GlobalIndex(Side::kRight, r)] >
+            out.best_size) {
+          kept_right.push_back(induced.right_to_old[r]);
+        }
+      }
+      if (s.center_side == Side::kRight) std::swap(kept_left, kept_right);
+      // kept_left is now on the centre's side again.
+      if (std::find(kept_left.begin(), kept_left.end(), s.same_side[0]) ==
+          kept_left.end()) {
+        ++out.stats.subgraphs_pruned_size;
+        continue;
+      }
+      // Keep the centre in front for the anchored search.
+      std::erase(kept_left, s.same_side[0]);
+      kept_left.insert(kept_left.begin(), s.same_side[0]);
+      center_side_vertices = std::move(kept_left);
+      other_side_vertices = std::move(kept_right);
+      if (std::min(center_side_vertices.size(),
+                   other_side_vertices.size()) <= out.best_size) {
+        ++out.stats.subgraphs_pruned_size;
+        continue;
+      }
+    }
+
+    // Lines 3-5: anchored exhaustive search on the dense local copy.
+    const DenseSubgraph dense = DenseSubgraph::Build(
+        reduced, center_side_vertices, other_side_vertices, s.center_side);
+    ++out.stats.subgraphs_searched;
+
+    MbbResult result;
+    if (options.use_dense_search) {
+      DenseMbbOptions dense_options = options.dense;
+      result = DenseMbbSolveAnchored(dense, /*anchor=*/0, dense_options,
+                                     out.best_size);
+    } else {
+      result = BasicBbSolveAnchored(dense, /*anchor=*/0,
+                                    options.dense.limits, out.best_size);
+    }
+    out.stats.Merge(result.stats);
+    if (!result.exact) {
+      out.exact = false;
+      break;
+    }
+    if (result.best.BalancedSize() > out.best_size) {
+      out.best = dense.ToOriginal(result.best);
+      out.best_size = result.best.BalancedSize();
+      out.improved = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace mbb

@@ -1,0 +1,47 @@
+#ifndef MBB_CORE_VERIFY_MBB_H_
+#define MBB_CORE_VERIFY_MBB_H_
+
+#include <cstdint>
+#include <span>
+
+#include "core/dense_mbb.h"
+#include "core/stats.h"
+#include "graph/bipartite_graph.h"
+#include "order/vertex_centered.h"
+
+namespace mbb {
+
+/// Configuration of the paper's Algorithm 8 (`verifyMBB`, step 3).
+struct VerifyOptions {
+  /// Reduce each surviving subgraph to its (|A*|+1)-core before searching
+  /// (line 2); part of the bd2-ablated core optimizations.
+  bool use_core_reduction = true;
+  /// Use denseMBB (Algorithm 3) for the anchored exhaustive search; when
+  /// false, the plain basicBB (Algorithm 1) runs instead — the bd3
+  /// ablation ("without branching technique").
+  bool use_dense_search = true;
+  DenseMbbOptions dense;
+};
+
+/// Outcome of verifyMBB over the surviving centred subgraphs.
+struct VerifyOutcome {
+  std::uint32_t best_size = 0;
+  bool improved = false;
+  /// Improvement in the reduced graph's ids (when `improved`).
+  Biclique best;
+  SearchStats stats;
+  /// False when a search limit fired before all subgraphs were certified.
+  bool exact = true;
+};
+
+/// Runs Algorithm 8: for every surviving vertex-centred subgraph, reduces
+/// it against the incumbent, then runs the anchored exhaustive search
+/// ("must contain the centre") with the incumbent as lower bound.
+VerifyOutcome VerifyMbb(const BipartiteGraph& reduced,
+                        std::uint32_t initial_best_size,
+                        std::span<const CenteredSubgraph> survivors,
+                        const VerifyOptions& options = {});
+
+}  // namespace mbb
+
+#endif  // MBB_CORE_VERIFY_MBB_H_

@@ -1,0 +1,35 @@
+#include "eval/experiment.h"
+
+#include <cstring>
+#include <string>
+
+namespace mbb {
+
+TimedRun RunWithTimeout(
+    double timeout_seconds,
+    const std::function<MbbResult(SearchLimits)>& solver) {
+  TimedRun run;
+  WallTimer timer;
+  run.result = solver(SearchLimits::FromSeconds(timeout_seconds));
+  run.seconds = timer.Seconds();
+  run.timed_out = !run.result.exact;
+  return run;
+}
+
+BenchConfig ParseBenchArgs(int argc, char** argv) {
+  BenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--full") {
+      config.full = true;
+    } else if (arg == "--timeout" && i + 1 < argc) {
+      config.timeout_seconds = std::stod(argv[++i]);
+      config.timeout_set = true;
+    } else if (arg == "--scale" && i + 1 < argc) {
+      config.scale = std::stod(argv[++i]);
+    }
+  }
+  return config;
+}
+
+}  // namespace mbb

@@ -1,0 +1,67 @@
+#ifndef MBB_EVAL_EXPERIMENT_H_
+#define MBB_EVAL_EXPERIMENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/stats.h"
+
+namespace mbb {
+
+/// Wall-clock stopwatch over `std::chrono::steady_clock`.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A timed run of an exact solver under a deadline: wall time, the solver
+/// result, and whether the deadline fired (rendered "-" in tables).
+struct TimedRun {
+  MbbResult result;
+  double seconds = 0.0;
+  bool timed_out = false;
+};
+
+/// Runs `solver` (which receives the deadline as `SearchLimits`) and
+/// captures wall time + timeout state.
+TimedRun RunWithTimeout(double timeout_seconds,
+                        const std::function<MbbResult(SearchLimits)>& solver);
+
+/// Shared command-line handling for the bench binaries: `--full` switches
+/// to paper-scale inputs, `--timeout SEC` adjusts the per-run deadline,
+/// `--scale X` overrides the dataset scale factor.
+struct BenchConfig {
+  bool full = false;
+  double timeout_seconds = 60.0;
+  bool timeout_set = false;
+  double scale = -1.0;  // negative = per-bench default
+
+  /// Effective dataset scale: explicit `--scale`, else 1.0 with `--full`,
+  /// else `default_scale`.
+  double EffectiveScale(double default_scale) const {
+    if (scale > 0) return scale;
+    return full ? 1.0 : default_scale;
+  }
+
+  /// Per-run deadline: explicit `--timeout` wins, otherwise the bench's
+  /// own default.
+  double EffectiveTimeout(double default_timeout) const {
+    return timeout_set ? timeout_seconds : default_timeout;
+  }
+};
+BenchConfig ParseBenchArgs(int argc, char** argv);
+
+}  // namespace mbb
+
+#endif  // MBB_EVAL_EXPERIMENT_H_

@@ -1,0 +1,53 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mbb {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+          << row[c];
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::string separator;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    separator += std::string(widths[c], '-') + "  ";
+  }
+  out << separator << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatSeconds(double seconds, bool timed_out) {
+  if (timed_out) return "-";
+  std::ostringstream os;
+  if (seconds < 10) {
+    os << std::fixed << std::setprecision(3) << seconds;
+  } else {
+    os << std::fixed << std::setprecision(1) << seconds;
+  }
+  return os.str();
+}
+
+}  // namespace mbb

@@ -1,0 +1,35 @@
+#ifndef MBB_EVAL_TABLE_PRINTER_H_
+#define MBB_EVAL_TABLE_PRINTER_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mbb {
+
+/// Minimal aligned-column table writer used by the benchmark harness to
+/// print the paper's tables. Cells are strings; the printer right-pads to
+/// the widest cell per column.
+class TablePrinter {
+ public:
+  /// `headers` defines the number of columns.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, surplus cells are dropped.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table (header, separator, rows) to `out`.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats seconds with three significant decimals ("0.854"), or the
+/// paper's timeout marker "-" when `timed_out`.
+std::string FormatSeconds(double seconds, bool timed_out = false);
+
+}  // namespace mbb
+
+#endif  // MBB_EVAL_TABLE_PRINTER_H_

@@ -1,0 +1,43 @@
+#include "graph/biclique.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mbb {
+
+void Biclique::MakeBalanced() {
+  const std::uint32_t k = BalancedSize();
+  if (left.size() > k) left.resize(k);
+  if (right.size() > k) right.resize(k);
+}
+
+bool Biclique::IsBicliqueIn(const BipartiteGraph& g) const {
+  std::unordered_set<VertexId> seen_left(left.begin(), left.end());
+  if (seen_left.size() != left.size()) return false;
+  std::unordered_set<VertexId> seen_right(right.begin(), right.end());
+  if (seen_right.size() != right.size()) return false;
+  for (const VertexId l : left) {
+    if (l >= g.num_left()) return false;
+    for (const VertexId r : right) {
+      if (r >= g.num_right() || !g.HasEdge(l, r)) return false;
+    }
+  }
+  return true;
+}
+
+std::string Biclique::ToString() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < left.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(left[i]);
+  }
+  out += '|';
+  for (std::size_t i = 0; i < right.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(right[i]);
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace mbb

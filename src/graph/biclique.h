@@ -1,0 +1,54 @@
+#ifndef MBB_GRAPH_BICLIQUE_H_
+#define MBB_GRAPH_BICLIQUE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// A (partial) biclique `(A ⊆ L, B ⊆ R)` of some bipartite graph. The ids
+/// are interpreted in whatever graph the biclique was produced from; helper
+/// predicates take the graph explicitly.
+struct Biclique {
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+
+  /// `min(|A|, |B|)` — the size of the balanced biclique obtainable by
+  /// trimming the larger side. The paper reports `|A*| + |B*| = 2 *
+  /// BalancedSize()` for balanced results.
+  std::uint32_t BalancedSize() const {
+    return static_cast<std::uint32_t>(std::min(left.size(), right.size()));
+  }
+
+  /// `|A| + |B|`.
+  std::uint32_t TotalSize() const {
+    return static_cast<std::uint32_t>(left.size() + right.size());
+  }
+
+  bool Empty() const { return left.empty() && right.empty(); }
+
+  bool IsBalanced() const { return left.size() == right.size(); }
+
+  /// Trims the larger side to `BalancedSize()` vertices (keeps a prefix; any
+  /// subset of the larger side of a biclique still forms a biclique).
+  void MakeBalanced();
+
+  /// True when every pair in `left x right` is an edge of `g` and both sides
+  /// are duplicate-free.
+  bool IsBicliqueIn(const BipartiteGraph& g) const;
+
+  /// Human-readable `"{l0,l1|r0,r1}"` form for logs and examples.
+  std::string ToString() const;
+};
+
+/// Orders bicliques by balanced size; used to keep the best incumbent.
+inline bool BetterBalanced(const Biclique& a, const Biclique& b) {
+  return a.BalancedSize() > b.BalancedSize();
+}
+
+}  // namespace mbb
+
+#endif  // MBB_GRAPH_BICLIQUE_H_

@@ -1,0 +1,132 @@
+#include "graph/bipartite_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mbb {
+
+BipartiteGraph BipartiteGraph::FromEdges(std::uint32_t num_left,
+                                         std::uint32_t num_right,
+                                         std::vector<Edge> edges) {
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  BipartiteGraph g;
+  g.num_left_ = num_left;
+  g.num_right_ = num_right;
+  g.left_offsets_.assign(num_left + std::size_t{1}, 0);
+  g.right_offsets_.assign(num_right + std::size_t{1}, 0);
+
+  for (const Edge& e : edges) {
+    assert(e.first < num_left && e.second < num_right);
+    ++g.left_offsets_[e.first + 1];
+    ++g.right_offsets_[e.second + 1];
+  }
+  for (std::size_t i = 1; i < g.left_offsets_.size(); ++i) {
+    g.left_offsets_[i] += g.left_offsets_[i - 1];
+  }
+  for (std::size_t i = 1; i < g.right_offsets_.size(); ++i) {
+    g.right_offsets_[i] += g.right_offsets_[i - 1];
+  }
+
+  g.left_adj_.resize(edges.size());
+  g.right_adj_.resize(edges.size());
+  // Edges are sorted by (left, right), so filling the left CSR in order
+  // keeps per-vertex neighbour lists sorted.
+  {
+    std::vector<std::uint64_t> cursor(g.left_offsets_.begin(),
+                                      g.left_offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      g.left_adj_[cursor[e.first]++] = e.second;
+    }
+  }
+  {
+    std::vector<std::uint64_t> cursor(g.right_offsets_.begin(),
+                                      g.right_offsets_.end() - 1);
+    // Iterating in (left, right) order fills each right vertex's list with
+    // increasing left ids.
+    for (const Edge& e : edges) {
+      g.right_adj_[cursor[e.second]++] = e.first;
+    }
+  }
+  return g;
+}
+
+double BipartiteGraph::Density() const {
+  if (num_left_ == 0 || num_right_ == 0) return 0.0;
+  return static_cast<double>(num_edges()) /
+         (static_cast<double>(num_left_) * static_cast<double>(num_right_));
+}
+
+std::span<const VertexId> BipartiteGraph::Neighbors(Side side,
+                                                    VertexId v) const {
+  if (side == Side::kLeft) {
+    assert(v < num_left_);
+    return {left_adj_.data() + left_offsets_[v],
+            left_adj_.data() + left_offsets_[v + 1]};
+  }
+  assert(v < num_right_);
+  return {right_adj_.data() + right_offsets_[v],
+          right_adj_.data() + right_offsets_[v + 1]};
+}
+
+bool BipartiteGraph::HasEdge(VertexId l, VertexId r) const {
+  const std::span<const VertexId> ln = Neighbors(Side::kLeft, l);
+  const std::span<const VertexId> rn = Neighbors(Side::kRight, r);
+  if (ln.size() <= rn.size()) {
+    return std::binary_search(ln.begin(), ln.end(), r);
+  }
+  return std::binary_search(rn.begin(), rn.end(), l);
+}
+
+std::uint32_t BipartiteGraph::MaxDegree() const {
+  std::uint32_t best = 0;
+  for (VertexId v = 0; v < num_left_; ++v) {
+    best = std::max(best, Degree(Side::kLeft, v));
+  }
+  for (VertexId v = 0; v < num_right_; ++v) {
+    best = std::max(best, Degree(Side::kRight, v));
+  }
+  return best;
+}
+
+InducedSubgraph BipartiteGraph::Induce(
+    std::span<const VertexId> left_keep,
+    std::span<const VertexId> right_keep) const {
+  constexpr VertexId kAbsent = ~VertexId{0};
+  std::vector<VertexId> right_new(num_right_, kAbsent);
+  for (std::size_t i = 0; i < right_keep.size(); ++i) {
+    assert(right_new[right_keep[i]] == kAbsent);
+    right_new[right_keep[i]] = static_cast<VertexId>(i);
+  }
+
+  std::vector<Edge> edges;
+  for (std::size_t i = 0; i < left_keep.size(); ++i) {
+    for (const VertexId r : Neighbors(Side::kLeft, left_keep[i])) {
+      if (right_new[r] != kAbsent) {
+        edges.emplace_back(static_cast<VertexId>(i), right_new[r]);
+      }
+    }
+  }
+
+  InducedSubgraph out;
+  out.graph = FromEdges(static_cast<std::uint32_t>(left_keep.size()),
+                        static_cast<std::uint32_t>(right_keep.size()),
+                        std::move(edges));
+  out.left_to_old.assign(left_keep.begin(), left_keep.end());
+  out.right_to_old.assign(right_keep.begin(), right_keep.end());
+  return out;
+}
+
+std::vector<Edge> BipartiteGraph::CollectEdges() const {
+  std::vector<Edge> edges;
+  edges.reserve(left_adj_.size());
+  for (VertexId l = 0; l < num_left_; ++l) {
+    for (const VertexId r : Neighbors(Side::kLeft, l)) {
+      edges.emplace_back(l, r);
+    }
+  }
+  return edges;
+}
+
+}  // namespace mbb

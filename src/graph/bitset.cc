@@ -1,0 +1,165 @@
+#include "graph/bitset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mbb {
+
+namespace {
+constexpr std::size_t WordCount(std::size_t num_bits) {
+  return (num_bits + 63) >> 6;
+}
+}  // namespace
+
+Bitset::Bitset(std::size_t num_bits, bool value)
+    : num_bits_(num_bits),
+      words_(WordCount(num_bits), value ? ~std::uint64_t{0} : 0) {
+  ClearTail();
+}
+
+void Bitset::Resize(std::size_t num_bits, bool value) {
+  const std::size_t old_bits = num_bits_;
+  num_bits_ = num_bits;
+  if (value && num_bits > old_bits && !words_.empty()) {
+    // Fill the tail of the current final word before growing the vector.
+    const std::size_t used = old_bits & 63;
+    if (used != 0) {
+      words_.back() |= ~std::uint64_t{0} << used;
+    }
+  }
+  words_.resize(WordCount(num_bits), value ? ~std::uint64_t{0} : 0);
+  ClearTail();
+}
+
+void Bitset::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~std::uint64_t{0});
+  ClearTail();
+}
+
+void Bitset::ResetAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+std::size_t Bitset::Count() const {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(__builtin_popcountll(w));
+  }
+  return total;
+}
+
+bool Bitset::Any() const {
+  for (const std::uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+int Bitset::FindFirst() const {
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] != 0) {
+      return static_cast<int>((i << 6) + __builtin_ctzll(words_[i]));
+    }
+  }
+  return -1;
+}
+
+int Bitset::FindNext(std::size_t i) const {
+  ++i;
+  if (i >= num_bits_) return -1;
+  std::size_t w = i >> 6;
+  std::uint64_t bits = words_[w] & (~std::uint64_t{0} << (i & 63));
+  while (true) {
+    if (bits != 0) {
+      return static_cast<int>((w << 6) + __builtin_ctzll(bits));
+    }
+    if (++w >= words_.size()) return -1;
+    bits = words_[w];
+  }
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= other.words_[i];
+  }
+  return *this;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+  return *this;
+}
+
+Bitset& Bitset::operator^=(const Bitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  return *this;
+}
+
+Bitset& Bitset::AndNotAssign(const Bitset& other) {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  return *this;
+}
+
+std::size_t Bitset::CountAnd(const Bitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(
+        __builtin_popcountll(words_[i] & other.words_[i]));
+  }
+  return total;
+}
+
+std::size_t Bitset::CountAndNot(const Bitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    total += static_cast<std::size_t>(
+        __builtin_popcountll(words_[i] & ~other.words_[i]));
+  }
+  return total;
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+bool Bitset::IsSubsetOf(const Bitset& other) const {
+  assert(num_bits_ == other.num_bits_);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & ~other.words_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint32_t> Bitset::ToVector() const {
+  std::vector<std::uint32_t> out;
+  out.reserve(Count());
+  ForEach([&out](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
+  return out;
+}
+
+bool Bitset::operator==(const Bitset& other) const {
+  return num_bits_ == other.num_bits_ && words_ == other.words_;
+}
+
+void Bitset::ClearTail() {
+  const std::size_t used = num_bits_ & 63;
+  if (used != 0 && !words_.empty()) {
+    words_.back() &= (kOne << used) - 1;
+  }
+}
+
+}  // namespace mbb

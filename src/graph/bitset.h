@@ -1,0 +1,146 @@
+#ifndef MBB_GRAPH_BITSET_H_
+#define MBB_GRAPH_BITSET_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace mbb {
+
+/// A dynamically sized bitset tuned for the candidate-set operations used by
+/// the branch-and-bound searches in this library: word-parallel AND /
+/// AND-NOT, population counts of intersections without materialization, and
+/// fast iteration over set bits.
+///
+/// Bits beyond `size()` are guaranteed to be zero at all times, so `Count()`
+/// and word-level comparisons never need masking on the caller side.
+class Bitset {
+ public:
+  Bitset() = default;
+
+  /// Creates a bitset with `num_bits` bits, all initialized to `value`.
+  explicit Bitset(std::size_t num_bits, bool value = false);
+
+  /// Number of addressable bits.
+  std::size_t size() const { return num_bits_; }
+
+  /// True when `size() == 0`.
+  bool empty() const { return num_bits_ == 0; }
+
+  /// Grows or shrinks to `num_bits`; newly added bits are set to `value`.
+  void Resize(std::size_t num_bits, bool value = false);
+
+  /// Returns bit `i`. Precondition: `i < size()`.
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  bool operator[](std::size_t i) const { return Test(i); }
+
+  /// Sets bit `i` to 1. Precondition: `i < size()`.
+  void Set(std::size_t i) { words_[i >> 6] |= kOne << (i & 63); }
+
+  /// Sets bit `i` to 0. Precondition: `i < size()`.
+  void Reset(std::size_t i) { words_[i >> 6] &= ~(kOne << (i & 63)); }
+
+  /// Assigns bit `i`. Precondition: `i < size()`.
+  void Assign(std::size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  /// Sets all bits to 1.
+  void SetAll();
+
+  /// Sets all bits to 0.
+  void ResetAll();
+
+  /// Number of set bits.
+  std::size_t Count() const;
+
+  /// True when at least one bit is set.
+  bool Any() const;
+
+  /// True when no bit is set.
+  bool None() const { return !Any(); }
+
+  /// Index of the lowest set bit, or -1 when none.
+  int FindFirst() const;
+
+  /// Index of the lowest set bit strictly greater than `i`, or -1 when none.
+  int FindNext(std::size_t i) const;
+
+  /// In-place intersection. Preconditions: `size() == other.size()`.
+  Bitset& operator&=(const Bitset& other);
+
+  /// In-place union. Preconditions: `size() == other.size()`.
+  Bitset& operator|=(const Bitset& other);
+
+  /// In-place symmetric difference. Preconditions: `size() == other.size()`.
+  Bitset& operator^=(const Bitset& other);
+
+  /// In-place difference: clears every bit that is set in `other`.
+  Bitset& AndNotAssign(const Bitset& other);
+
+  /// `|this ∩ other|` without materializing the intersection.
+  std::size_t CountAnd(const Bitset& other) const;
+
+  /// `|this \ other|` without materializing the difference.
+  std::size_t CountAndNot(const Bitset& other) const;
+
+  /// True when `this ∩ other` is non-empty.
+  bool Intersects(const Bitset& other) const;
+
+  /// True when every set bit of `this` is also set in `other`.
+  bool IsSubsetOf(const Bitset& other) const;
+
+  /// Calls `fn(i)` for every set bit `i` in increasing order. `Fn` may be
+  /// any callable accepting a `std::size_t` (or implicitly convertible).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits != 0) {
+        const int b = __builtin_ctzll(bits);
+        fn(static_cast<std::size_t>((w << 6) + b));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  /// Materializes set bits as a vector of indices, in increasing order.
+  std::vector<std::uint32_t> ToVector() const;
+
+  bool operator==(const Bitset& other) const;
+  bool operator!=(const Bitset& other) const { return !(*this == other); }
+
+  friend Bitset operator&(Bitset lhs, const Bitset& rhs) {
+    lhs &= rhs;
+    return lhs;
+  }
+  friend Bitset operator|(Bitset lhs, const Bitset& rhs) {
+    lhs |= rhs;
+    return lhs;
+  }
+
+  /// Returns `a \ b`.
+  static Bitset AndNot(Bitset a, const Bitset& b) {
+    a.AndNotAssign(b);
+    return a;
+  }
+
+ private:
+  static constexpr std::uint64_t kOne = 1;
+
+  // Zeroes the bits beyond num_bits_ in the final word.
+  void ClearTail();
+
+  std::size_t num_bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace mbb
+
+#endif  // MBB_GRAPH_BITSET_H_

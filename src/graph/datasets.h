@@ -1,0 +1,56 @@
+#ifndef MBB_GRAPH_DATASETS_H_
+#define MBB_GRAPH_DATASETS_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Catalogue entry for one of the 30 KONECT bipartite datasets evaluated in
+/// the paper's Table 5. The real datasets cannot be shipped in this offline
+/// environment, so each entry carries the published shape parameters
+/// (`|L|`, `|R|`, edge density, optimum balanced side size) from which a
+/// synthetic surrogate with matching statistics is generated — see
+/// DESIGN.md, "Substitutions".
+struct DatasetSpec {
+  std::string_view name;
+  std::uint32_t num_left;
+  std::uint32_t num_right;
+  /// Edge density as reported ("Density x 1e-4" column divided out):
+  /// `|E| / (|L| * |R|)`.
+  double density;
+  /// Side size `k` of the maximum balanced biclique the paper reports
+  /// ("Optimum" column), planted into the surrogate.
+  std::uint32_t optimum;
+  /// True for the 12 "tough" datasets (D1..D12) of Table 6 — the ones
+  /// hbvMBB needs more than 10 seconds on at paper scale.
+  bool tough;
+};
+
+/// All 30 Table-5 datasets, in the paper's row order.
+std::span<const DatasetSpec> Table5Datasets();
+
+/// The 12 tough datasets of Table 6 (D1..D12, the paper's top-down order).
+std::span<const DatasetSpec> ToughDatasets();
+
+/// Looks up a dataset by name; returns nullptr when unknown.
+const DatasetSpec* FindDataset(std::string_view name);
+
+/// Number of edges the surrogate targets at the given scale.
+std::uint64_t SurrogateEdgeTarget(const DatasetSpec& spec, double scale);
+
+/// Generates the synthetic surrogate for `spec`.
+///
+/// `scale` in (0, 1] shrinks both sides linearly (edge count shrinks
+/// quadratically since density is preserved); the planted optimum-size
+/// biclique is kept at full size so the "Optimum" column remains
+/// reproducible. Deterministic in (`spec.name`, `scale`, `seed_mix`).
+BipartiteGraph GenerateSurrogate(const DatasetSpec& spec, double scale = 1.0,
+                                 std::uint64_t seed_mix = 0);
+
+}  // namespace mbb
+
+#endif  // MBB_GRAPH_DATASETS_H_

@@ -1,0 +1,88 @@
+#include "graph/dense_subgraph.h"
+
+#include <cassert>
+
+namespace mbb {
+
+DenseSubgraph DenseSubgraph::Build(const BipartiteGraph& g,
+                                   std::span<const VertexId> left_vertices,
+                                   std::span<const VertexId> right_vertices,
+                                   Side left_side) {
+  DenseSubgraph s;
+  s.left_side_ = left_side;
+  s.left_origin_.assign(left_vertices.begin(), left_vertices.end());
+  s.right_origin_.assign(right_vertices.begin(), right_vertices.end());
+
+  const std::uint32_t nl = static_cast<std::uint32_t>(left_vertices.size());
+  const std::uint32_t nr = static_cast<std::uint32_t>(right_vertices.size());
+  s.left_adj_.assign(nl, Bitset(nr));
+  s.right_adj_.assign(nr, Bitset(nl));
+
+  // Local index of each kept right vertex, over the origin graph's id space
+  // of the right side.
+  const Side right_side = Opposite(left_side);
+  constexpr VertexId kAbsent = ~VertexId{0};
+  std::vector<VertexId> right_local(g.NumVertices(right_side), kAbsent);
+  for (VertexId i = 0; i < nr; ++i) {
+    assert(right_local[right_vertices[i]] == kAbsent);
+    right_local[right_vertices[i]] = i;
+  }
+
+  for (VertexId l = 0; l < nl; ++l) {
+    for (const VertexId nbr : g.Neighbors(left_side, left_vertices[l])) {
+      const VertexId r = right_local[nbr];
+      if (r != kAbsent) {
+        s.left_adj_[l].Set(r);
+        s.right_adj_[r].Set(l);
+      }
+    }
+  }
+  return s;
+}
+
+DenseSubgraph DenseSubgraph::FromLocalAdjacency(
+    std::uint32_t num_left, std::uint32_t num_right,
+    const std::vector<std::vector<VertexId>>& adj) {
+  assert(adj.size() == num_left);
+  DenseSubgraph s;
+  s.left_adj_.assign(num_left, Bitset(num_right));
+  s.right_adj_.assign(num_right, Bitset(num_left));
+  s.left_origin_.resize(num_left);
+  s.right_origin_.resize(num_right);
+  for (VertexId l = 0; l < num_left; ++l) s.left_origin_[l] = l;
+  for (VertexId r = 0; r < num_right; ++r) s.right_origin_[r] = r;
+  for (VertexId l = 0; l < num_left; ++l) {
+    for (const VertexId r : adj[l]) {
+      assert(r < num_right);
+      s.left_adj_[l].Set(r);
+      s.right_adj_[r].Set(l);
+    }
+  }
+  return s;
+}
+
+std::uint64_t DenseSubgraph::CountEdges() const {
+  std::uint64_t total = 0;
+  for (const Bitset& row : left_adj_) total += row.Count();
+  return total;
+}
+
+double DenseSubgraph::Density() const {
+  if (num_left() == 0 || num_right() == 0) return 0.0;
+  return static_cast<double>(CountEdges()) /
+         (static_cast<double>(num_left()) * static_cast<double>(num_right()));
+}
+
+Biclique DenseSubgraph::ToOriginal(const Biclique& local) const {
+  Biclique out;
+  out.left.reserve(local.left.size());
+  out.right.reserve(local.right.size());
+  for (const VertexId l : local.left) out.left.push_back(left_origin_[l]);
+  for (const VertexId r : local.right) out.right.push_back(right_origin_[r]);
+  if (left_side_ == Side::kRight) {
+    std::swap(out.left, out.right);
+  }
+  return out;
+}
+
+}  // namespace mbb

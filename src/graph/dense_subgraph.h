@@ -1,0 +1,98 @@
+#ifndef MBB_GRAPH_DENSE_SUBGRAPH_H_
+#define MBB_GRAPH_DENSE_SUBGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/biclique.h"
+#include "graph/bipartite_graph.h"
+#include "graph/bitset.h"
+
+namespace mbb {
+
+/// A small bipartite graph re-indexed to dense local ids with bitset
+/// adjacency rows in both directions. All branch-and-bound searches
+/// (`basicBB`, `denseMBB`, `dynamicMBB`) operate on this representation:
+/// candidate sets are `Bitset`s over local ids, and the inner-loop
+/// operation "intersect candidates with N(u)" is a word-parallel AND.
+///
+/// The subgraph remembers which global side its local "left" corresponds to
+/// (`left_side()`), because the sparse pipeline canonicalizes vertex-centred
+/// subgraphs so that the centre vertex is always local left 0.
+class DenseSubgraph {
+ public:
+  DenseSubgraph() = default;
+
+  /// Extracts the subgraph of `g` induced by `left_vertices x
+  /// right_vertices`, where `left_vertices` live on global side `left_side`
+  /// and `right_vertices` on the opposite side. Lists must be duplicate-free.
+  static DenseSubgraph Build(const BipartiteGraph& g,
+                             std::span<const VertexId> left_vertices,
+                             std::span<const VertexId> right_vertices,
+                             Side left_side = Side::kLeft);
+
+  /// Builds directly from local adjacency: `adj[l]` lists the right-local
+  /// neighbours of left-local `l`. Used by generators and tests.
+  static DenseSubgraph FromLocalAdjacency(
+      std::uint32_t num_left, std::uint32_t num_right,
+      const std::vector<std::vector<VertexId>>& adj);
+
+  std::uint32_t num_left() const {
+    return static_cast<std::uint32_t>(left_adj_.size());
+  }
+  std::uint32_t num_right() const {
+    return static_cast<std::uint32_t>(right_adj_.size());
+  }
+  std::uint32_t NumVertices() const { return num_left() + num_right(); }
+
+  /// Which global side local-left ids correspond to.
+  Side left_side() const { return left_side_; }
+
+  /// Neighbour row of left-local `l`, as a bitset over right-local ids.
+  const Bitset& LeftRow(VertexId l) const { return left_adj_[l]; }
+
+  /// Neighbour row of right-local `r`, as a bitset over left-local ids.
+  const Bitset& RightRow(VertexId r) const { return right_adj_[r]; }
+
+  /// Neighbour row of a vertex on `side` (local id).
+  const Bitset& Row(Side side, VertexId v) const {
+    return side == Side::kLeft ? left_adj_[v] : right_adj_[v];
+  }
+
+  bool HasEdge(VertexId l, VertexId r) const { return left_adj_[l].Test(r); }
+
+  std::uint32_t LeftDegree(VertexId l) const {
+    return static_cast<std::uint32_t>(left_adj_[l].Count());
+  }
+  std::uint32_t RightDegree(VertexId r) const {
+    return static_cast<std::uint32_t>(right_adj_[r].Count());
+  }
+
+  std::uint64_t CountEdges() const;
+
+  /// `|E| / (|L| * |R|)`, 0 when either side is empty.
+  double Density() const;
+
+  /// Maps a left-local id back to the id in the graph this subgraph was
+  /// built from (on side `left_side()`).
+  VertexId OriginalLeft(VertexId l) const { return left_origin_[l]; }
+  /// Maps a right-local id back to the origin graph (opposite side).
+  VertexId OriginalRight(VertexId r) const { return right_origin_[r]; }
+
+  /// Translates a biclique expressed in local ids into origin-graph ids,
+  /// respecting `left_side()` (i.e. the result's `left`/`right` always refer
+  /// to the origin graph's true L/R sides).
+  Biclique ToOriginal(const Biclique& local) const;
+
+ private:
+  Side left_side_ = Side::kLeft;
+  std::vector<Bitset> left_adj_;   // one row per left-local vertex
+  std::vector<Bitset> right_adj_;  // one row per right-local vertex
+  std::vector<VertexId> left_origin_;
+  std::vector<VertexId> right_origin_;
+};
+
+}  // namespace mbb
+
+#endif  // MBB_GRAPH_DENSE_SUBGRAPH_H_

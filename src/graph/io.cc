@@ -1,0 +1,70 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mbb {
+
+BipartiteGraph ReadEdgeList(std::istream& in) {
+  std::vector<Edge> edges;
+  std::uint32_t max_left = 0;
+  std::uint32_t max_right = 0;
+  bool any = false;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments and blank lines.
+    const std::size_t start = line.find_first_not_of(" \t\r");
+    if (start == std::string::npos) continue;
+    if (line[start] == '%' || line[start] == '#') continue;
+
+    std::istringstream fields(line);
+    long long u = 0;
+    long long v = 0;
+    if (!(fields >> u >> v) || u < 1 || v < 1) {
+      throw std::runtime_error("malformed edge list at line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    const VertexId l = static_cast<VertexId>(u - 1);
+    const VertexId r = static_cast<VertexId>(v - 1);
+    edges.emplace_back(l, r);
+    max_left = std::max(max_left, l);
+    max_right = std::max(max_right, r);
+    any = true;
+  }
+  if (!any) return BipartiteGraph::FromEdges(0, 0, {});
+  return BipartiteGraph::FromEdges(max_left + 1, max_right + 1,
+                                   std::move(edges));
+}
+
+void WriteEdgeList(const BipartiteGraph& g, std::ostream& out) {
+  out << "% bip unweighted\n";
+  out << "% " << g.num_edges() << ' ' << g.num_left() << ' ' << g.num_right()
+      << '\n';
+  for (VertexId l = 0; l < g.num_left(); ++l) {
+    for (const VertexId r : g.Neighbors(Side::kLeft, l)) {
+      out << (l + 1) << ' ' << (r + 1) << '\n';
+    }
+  }
+}
+
+BipartiteGraph LoadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return ReadEdgeList(in);
+}
+
+void SaveEdgeListFile(const BipartiteGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  WriteEdgeList(g, out);
+}
+
+}  // namespace mbb

@@ -1,0 +1,28 @@
+#ifndef MBB_GRAPH_IO_H_
+#define MBB_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Reads a bipartite edge list in the KONECT text format: one `u v` pair per
+/// line (1-based ids, left first), `%`- or `#`-prefixed comment lines, and
+/// optional trailing weight/timestamp columns which are ignored. The number
+/// of vertices per side is inferred from the maximum id seen.
+///
+/// Throws `std::runtime_error` on malformed numeric fields.
+BipartiteGraph ReadEdgeList(std::istream& in);
+
+/// Writes `g` in the same format (1-based ids, `%` header).
+void WriteEdgeList(const BipartiteGraph& g, std::ostream& out);
+
+/// File wrappers. Throw `std::runtime_error` when the file cannot be opened.
+BipartiteGraph LoadEdgeListFile(const std::string& path);
+void SaveEdgeListFile(const BipartiteGraph& g, const std::string& path);
+
+}  // namespace mbb
+
+#endif  // MBB_GRAPH_IO_H_

@@ -1,0 +1,117 @@
+#include "order/matching.h"
+
+#include <functional>
+#include <limits>
+#include <queue>
+
+namespace mbb {
+
+namespace {
+constexpr std::uint32_t kInf = std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
+MaximumMatching HopcroftKarp(const BipartiteGraph& g) {
+  const std::uint32_t nl = g.num_left();
+  const std::uint32_t nr = g.num_right();
+  MaximumMatching m;
+  m.match_of_left.assign(nl, MaximumMatching::kUnmatched);
+  m.match_of_right.assign(nr, MaximumMatching::kUnmatched);
+
+  std::vector<std::uint32_t> level(nl);
+
+  // BFS layers from unmatched left vertices; true when an augmenting path
+  // exists.
+  const auto bfs = [&]() {
+    std::queue<VertexId> queue;
+    for (VertexId l = 0; l < nl; ++l) {
+      if (m.match_of_left[l] == MaximumMatching::kUnmatched) {
+        level[l] = 0;
+        queue.push(l);
+      } else {
+        level[l] = kInf;
+      }
+    }
+    bool found = false;
+    while (!queue.empty()) {
+      const VertexId l = queue.front();
+      queue.pop();
+      for (const VertexId r : g.Neighbors(Side::kLeft, l)) {
+        const VertexId next = m.match_of_right[r];
+        if (next == MaximumMatching::kUnmatched) {
+          found = true;
+        } else if (level[next] == kInf) {
+          level[next] = level[l] + 1;
+          queue.push(next);
+        }
+      }
+    }
+    return found;
+  };
+
+  // Layered DFS augmentation.
+  const std::function<bool(VertexId)> dfs = [&](VertexId l) {
+    for (const VertexId r : g.Neighbors(Side::kLeft, l)) {
+      const VertexId next = m.match_of_right[r];
+      if (next == MaximumMatching::kUnmatched ||
+          (level[next] == level[l] + 1 && dfs(next))) {
+        m.match_of_left[l] = r;
+        m.match_of_right[r] = l;
+        return true;
+      }
+    }
+    level[l] = kInf;  // dead end; prune for this phase
+    return false;
+  };
+
+  while (bfs()) {
+    for (VertexId l = 0; l < nl; ++l) {
+      if (m.match_of_left[l] == MaximumMatching::kUnmatched && dfs(l)) {
+        ++m.size;
+      }
+    }
+  }
+  return m;
+}
+
+VertexCover KonigCover(const BipartiteGraph& g, const MaximumMatching& m) {
+  const std::uint32_t nl = g.num_left();
+  const std::uint32_t nr = g.num_right();
+
+  // Alternating reachability Z from unmatched left vertices: left via
+  // non-matching edges, right back via matching edges. Cover = (L \ Z_L)
+  // ∪ (R ∩ Z_R).
+  std::vector<bool> left_reached(nl, false);
+  std::vector<bool> right_reached(nr, false);
+  std::queue<VertexId> queue;
+  for (VertexId l = 0; l < nl; ++l) {
+    if (m.match_of_left[l] == MaximumMatching::kUnmatched) {
+      left_reached[l] = true;
+      queue.push(l);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId l = queue.front();
+    queue.pop();
+    for (const VertexId r : g.Neighbors(Side::kLeft, l)) {
+      if (m.match_of_left[l] == r) continue;  // only non-matching edges
+      if (right_reached[r]) continue;
+      right_reached[r] = true;
+      const VertexId back = m.match_of_right[r];
+      if (back != MaximumMatching::kUnmatched && !left_reached[back]) {
+        left_reached[back] = true;
+        queue.push(back);
+      }
+    }
+  }
+
+  VertexCover cover;
+  for (VertexId l = 0; l < nl; ++l) {
+    if (!left_reached[l]) cover.left.push_back(l);
+  }
+  for (VertexId r = 0; r < nr; ++r) {
+    if (right_reached[r]) cover.right.push_back(r);
+  }
+  return cover;
+}
+
+}  // namespace mbb

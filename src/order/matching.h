@@ -1,0 +1,39 @@
+#ifndef MBB_ORDER_MATCHING_H_
+#define MBB_ORDER_MATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// A maximum matching of a bipartite graph plus the König certificate.
+struct MaximumMatching {
+  /// `match_of_left[l]` = matched right vertex or `kUnmatched`.
+  std::vector<VertexId> match_of_left;
+  /// `match_of_right[r]` = matched left vertex or `kUnmatched`.
+  std::vector<VertexId> match_of_right;
+  std::uint32_t size = 0;
+
+  static constexpr VertexId kUnmatched = ~VertexId{0};
+};
+
+/// Computes a maximum matching with Hopcroft–Karp (O(E sqrt(V))). This is
+/// the substrate behind the library's König-style reasoning: the
+/// polynomial maximum-vertex-biclique solver (§7 of the paper) and the
+/// matching bound inside denseMBB.
+MaximumMatching HopcroftKarp(const BipartiteGraph& g);
+
+/// A minimum vertex cover per König's theorem, derived from a maximum
+/// matching by alternating reachability from unmatched left vertices.
+/// `|left| + |right| == matching size`.
+struct VertexCover {
+  std::vector<VertexId> left;
+  std::vector<VertexId> right;
+};
+VertexCover KonigCover(const BipartiteGraph& g, const MaximumMatching& m);
+
+}  // namespace mbb
+
+#endif  // MBB_ORDER_MATCHING_H_

@@ -1,0 +1,132 @@
+#include "order/vertex_centered.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "order/bicore_decomposition.h"
+#include "order/core_decomposition.h"
+
+namespace mbb {
+
+const char* ToString(VertexOrderKind kind) {
+  switch (kind) {
+    case VertexOrderKind::kDegree:
+      return "maxDeg";
+    case VertexOrderKind::kDegeneracy:
+      return "degeneracy";
+    case VertexOrderKind::kBidegeneracy:
+      return "bidegeneracy";
+  }
+  return "?";
+}
+
+VertexOrder ComputeVertexOrder(const BipartiteGraph& g, VertexOrderKind kind) {
+  VertexOrder out;
+  out.kind = kind;
+  const std::uint32_t n = g.NumVertices();
+  switch (kind) {
+    case VertexOrderKind::kDegree: {
+      out.order.resize(n);
+      std::iota(out.order.begin(), out.order.end(), 0);
+      std::stable_sort(out.order.begin(), out.order.end(),
+                       [&g](std::uint32_t a, std::uint32_t b) {
+                         return g.Degree(g.SideOf(a), g.LocalId(a)) >
+                                g.Degree(g.SideOf(b), g.LocalId(b));
+                       });
+      break;
+    }
+    case VertexOrderKind::kDegeneracy:
+      out.order = ComputeCores(g).order;
+      break;
+    case VertexOrderKind::kBidegeneracy:
+      out.order = ComputeBicores(g).order;
+      break;
+  }
+  out.rank.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.rank[out.order[i]] = i;
+  return out;
+}
+
+CenteredSubgraph BuildCenteredSubgraph(const BipartiteGraph& g,
+                                       const VertexOrder& order,
+                                       std::uint32_t center_global,
+                                       CenteredWorkspace& workspace) {
+  CenteredSubgraph out;
+  out.center_global = center_global;
+  out.center_side = g.SideOf(center_global);
+  const VertexId center = g.LocalId(center_global);
+  const Side side = out.center_side;
+  const std::uint32_t center_rank = order.rank[center_global];
+
+  out.same_side.push_back(center);
+
+  // Later 1-hop neighbours (opposite side) and later 2-hop neighbours
+  // (same side), deduplicated via the workspace stamp over same-side ids.
+  workspace.Prepare(g.NumVertices(side));
+  workspace.NextRound();
+  workspace.Mark(center);
+  for (const VertexId v : g.Neighbors(side, center)) {
+    const std::uint32_t v_global = g.GlobalIndex(Opposite(side), v);
+    if (order.rank[v_global] > center_rank) {
+      out.other_side.push_back(v);
+    }
+    for (const VertexId w : g.Neighbors(Opposite(side), v)) {
+      if (!workspace.Mark(w)) continue;
+      const std::uint32_t w_global = g.GlobalIndex(side, w);
+      if (order.rank[w_global] > center_rank) {
+        out.same_side.push_back(w);
+      }
+    }
+  }
+  return out;
+}
+
+CenteredSubgraph BuildCenteredSubgraph(const BipartiteGraph& g,
+                                       const VertexOrder& order,
+                                       std::uint32_t center_global) {
+  CenteredWorkspace workspace;
+  return BuildCenteredSubgraph(g, order, center_global, workspace);
+}
+
+std::uint64_t CountInducedEdges(const BipartiteGraph& g,
+                                const std::vector<VertexId>& left_vertices,
+                                const std::vector<VertexId>& right_vertices) {
+  std::vector<bool> in_right(g.num_right(), false);
+  for (const VertexId r : right_vertices) in_right[r] = true;
+  std::uint64_t count = 0;
+  for (const VertexId l : left_vertices) {
+    for (const VertexId r : g.Neighbors(Side::kLeft, l)) {
+      count += in_right[r] ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+CenteredSubgraphStats ComputeCenteredStats(const BipartiteGraph& g,
+                                           const VertexOrder& order) {
+  CenteredSubgraphStats stats;
+  double density_sum = 0.0;
+  ForEachCenteredSubgraph(g, order, [&](const CenteredSubgraph& s) {
+    stats.total_vertices += s.NumVertices();
+    stats.max_vertices =
+        std::max<std::uint64_t>(stats.max_vertices, s.NumVertices());
+    if (s.same_side.empty() || s.other_side.empty()) return;
+
+    const std::vector<VertexId>& left =
+        s.center_side == Side::kLeft ? s.same_side : s.other_side;
+    const std::vector<VertexId>& right =
+        s.center_side == Side::kLeft ? s.other_side : s.same_side;
+    const std::uint64_t edges = CountInducedEdges(g, left, right);
+    density_sum += static_cast<double>(edges) /
+                   (static_cast<double>(left.size()) *
+                    static_cast<double>(right.size()));
+    ++stats.subgraphs_with_both_sides;
+  });
+  if (stats.subgraphs_with_both_sides > 0) {
+    stats.average_density =
+        density_sum / static_cast<double>(stats.subgraphs_with_both_sides);
+  }
+  return stats;
+}
+
+}  // namespace mbb

@@ -1,0 +1,123 @@
+#ifndef MBB_ORDER_VERTEX_CENTERED_H_
+#define MBB_ORDER_VERTEX_CENTERED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// The total search orders compared in the paper (Lemmas 6–8, Figures 5–6).
+enum class VertexOrderKind {
+  /// Non-increasing global degree (Lemma 6: total centred size
+  /// O((|L|+|R|) * dmax^2)).
+  kDegree,
+  /// Degeneracy (core peeling) order (Lemma 7: O((|L|+|R|) * δ * dmax)).
+  kDegeneracy,
+  /// Bidegeneracy (bicore peeling) order (Lemma 8: O((|L|+|R|) * δ̈)) —
+  /// the order the paper's hbvMBB uses.
+  kBidegeneracy,
+};
+
+const char* ToString(VertexOrderKind kind);
+
+/// A total order over the global vertex index space of a graph.
+struct VertexOrder {
+  VertexOrderKind kind = VertexOrderKind::kBidegeneracy;
+  /// `order[i]` = global index of the i-th vertex.
+  std::vector<std::uint32_t> order;
+  /// `rank[g]` = position of global vertex `g` in `order`.
+  std::vector<std::uint32_t> rank;
+};
+
+/// Computes the requested order for `g`.
+VertexOrder ComputeVertexOrder(const BipartiteGraph& g, VertexOrderKind kind);
+
+/// A vertex-centred subgraph (Definition 6): for centre `u` with rank `i`,
+/// the subgraph induced by `{u} ∪ (N≤2(u) ∩ {vertices of rank > i})`.
+/// Every biclique of `G` with both sides non-empty is contained in exactly
+/// one centred subgraph — the one centred at its minimum-rank vertex
+/// (Observations 4 and 5) — which is why scanning all centred subgraphs
+/// with a "must contain the centre" search is exhaustive.
+struct CenteredSubgraph {
+  std::uint32_t center_global = 0;
+  Side center_side = Side::kLeft;
+  /// Vertices on the centre's side (side-local ids). The centre is always
+  /// `same_side.front()`.
+  std::vector<VertexId> same_side;
+  /// Vertices on the opposite side (side-local ids): the centre's later
+  /// 1-hop neighbours.
+  std::vector<VertexId> other_side;
+
+  std::uint32_t NumVertices() const {
+    return static_cast<std::uint32_t>(same_side.size() + other_side.size());
+  }
+};
+
+/// Reusable scratch for centred-subgraph construction; avoids an O(|V|)
+/// allocation per centre when streaming all subgraphs.
+class CenteredWorkspace {
+ public:
+  void Prepare(std::uint32_t num_vertices) {
+    if (stamp_.size() < num_vertices) stamp_.assign(num_vertices, 0);
+  }
+  bool Mark(std::uint32_t v) {
+    const bool fresh = stamp_[v] != round_;
+    stamp_[v] = round_;
+    return fresh;
+  }
+  void NextRound() { ++round_; }
+
+ private:
+  std::vector<std::uint32_t> stamp_;
+  std::uint32_t round_ = 0;
+};
+
+/// Builds the centred subgraph for `center_global` under `order`.
+CenteredSubgraph BuildCenteredSubgraph(const BipartiteGraph& g,
+                                       const VertexOrder& order,
+                                       std::uint32_t center_global);
+
+/// Workspace variant for tight loops.
+CenteredSubgraph BuildCenteredSubgraph(const BipartiteGraph& g,
+                                       const VertexOrder& order,
+                                       std::uint32_t center_global,
+                                       CenteredWorkspace& workspace);
+
+/// Streams all |L|+|R| centred subgraphs in order; `fn` receives each
+/// `CenteredSubgraph` by const reference. Far cheaper than materializing
+/// them all when only aggregate statistics are needed.
+template <typename Fn>
+void ForEachCenteredSubgraph(const BipartiteGraph& g, const VertexOrder& order,
+                             Fn&& fn) {
+  CenteredWorkspace workspace;
+  for (const std::uint32_t center : order.order) {
+    const CenteredSubgraph s =
+        BuildCenteredSubgraph(g, order, center, workspace);
+    fn(s);
+  }
+}
+
+/// Number of edges of `g` between `left_vertices` and `right_vertices`
+/// (both duplicate-free). O(Σ deg(left)).
+std::uint64_t CountInducedEdges(const BipartiteGraph& g,
+                                const std::vector<VertexId>& left_vertices,
+                                const std::vector<VertexId>& right_vertices);
+
+/// Aggregate statistics over all centred subgraphs of an order — the raw
+/// material of the paper's Figures 5 and 6 and of Lemmas 6–8.
+struct CenteredSubgraphStats {
+  std::uint64_t total_vertices = 0;  // Σ |H|
+  std::uint64_t max_vertices = 0;
+  /// Mean of per-subgraph edge density |E(H)|/(|L(H)|*|R(H)|), over
+  /// subgraphs with both sides non-empty.
+  double average_density = 0.0;
+  std::uint64_t subgraphs_with_both_sides = 0;
+};
+CenteredSubgraphStats ComputeCenteredStats(const BipartiteGraph& g,
+                                           const VertexOrder& order);
+
+}  // namespace mbb
+
+#endif  // MBB_ORDER_VERTEX_CENTERED_H_

@@ -1,0 +1,118 @@
+#include "core/basic_bb.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(BasicBb, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(0, 0, {});
+  const MbbResult result = BasicBbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), 0u);
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(BasicBb, SingleEdge) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(1, 1, {{0, 0}});
+  const MbbResult result = BasicBbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), 1u);
+  EXPECT_TRUE(result.best.IsBalanced());
+}
+
+TEST(BasicBb, CompleteBipartite) {
+  const BipartiteGraph g = testing::CompleteBipartite(5, 7);
+  const MbbResult result = BasicBbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), 5u);
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+}
+
+TEST(BasicBb, PaperExample) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const MbbResult result = BasicBbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), 2u);  // ({3,4},{9,10})
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+}
+
+TEST(BasicBb, InitialBestSuppressesEqualResults) {
+  const BipartiteGraph g = testing::CompleteBipartite(3, 3);
+  const MbbResult suppressed =
+      BasicBbSolve(testing::WholeGraphDense(g), {}, 3);
+  EXPECT_TRUE(suppressed.best.Empty());
+  const MbbResult improved = BasicBbSolve(testing::WholeGraphDense(g), {}, 2);
+  EXPECT_EQ(improved.best.BalancedSize(), 3u);
+}
+
+TEST(BasicBb, RecursionLimitSetsTimedOut) {
+  const BipartiteGraph g = testing::RandomGraph(12, 12, 0.5, 1);
+  SearchLimits limits;
+  limits.max_recursions = 5;
+  const MbbResult result =
+      BasicBbSolve(testing::WholeGraphDense(g), limits);
+  EXPECT_FALSE(result.exact);
+  EXPECT_TRUE(result.stats.timed_out);
+}
+
+TEST(BasicBb, ExpiredDeadlineAborts) {
+  const BipartiteGraph g = testing::RandomGraph(12, 12, 0.5, 2);
+  SearchLimits limits = SearchLimits::FromSeconds(-1.0);
+  const MbbResult result =
+      BasicBbSolve(testing::WholeGraphDense(g), limits);
+  EXPECT_FALSE(result.exact);
+}
+
+TEST(BasicBb, StatsArepopulated) {
+  const BipartiteGraph g = testing::RandomGraph(10, 10, 0.4, 3);
+  const MbbResult result = BasicBbSolve(testing::WholeGraphDense(g));
+  EXPECT_GT(result.stats.recursions, 0u);
+  EXPECT_GT(result.stats.leaves, 0u);
+  EXPECT_GT(result.stats.max_depth, 0u);
+}
+
+TEST(BasicBbAnchored, ResultContainsAnchor) {
+  const BipartiteGraph g = testing::RandomGraph(8, 8, 0.6, 4);
+  const DenseSubgraph s = testing::WholeGraphDense(g);
+  for (VertexId anchor = 0; anchor < g.num_left(); ++anchor) {
+    const MbbResult result = BasicBbSolveAnchored(s, anchor);
+    if (result.best.Empty()) continue;  // anchor may be isolated
+    EXPECT_TRUE(std::find(result.best.left.begin(), result.best.left.end(),
+                          anchor) != result.best.left.end());
+    EXPECT_TRUE(result.best.IsBicliqueIn(g));
+  }
+}
+
+TEST(BasicBbAnchored, BestOverAnchorsEqualsGlobal) {
+  const BipartiteGraph g = testing::RandomGraph(8, 9, 0.5, 5);
+  const DenseSubgraph s = testing::WholeGraphDense(g);
+  const std::uint32_t global = BasicBbSolve(s).best.BalancedSize();
+  std::uint32_t best_anchored = 0;
+  for (VertexId anchor = 0; anchor < g.num_left(); ++anchor) {
+    best_anchored = std::max(
+        best_anchored, BasicBbSolveAnchored(s, anchor).best.BalancedSize());
+  }
+  EXPECT_EQ(best_anchored, global);
+}
+
+class BasicBbRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BasicBbRandomTest, MatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const std::uint32_t nl = 4 + seed % 9;
+  const std::uint32_t nr = 4 + (seed * 5) % 9;
+  const double density = 0.15 + 0.1 * static_cast<double>(seed % 8);
+  const BipartiteGraph g = testing::RandomGraph(nl, nr, density, seed);
+  const MbbResult result = BasicBbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), BruteForceMbbSize(g));
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+  EXPECT_TRUE(result.best.IsBalanced());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BasicBbRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace mbb

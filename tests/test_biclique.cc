@@ -1,0 +1,91 @@
+#include "graph/biclique.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(Biclique, SizesAndBalance) {
+  Biclique b;
+  EXPECT_EQ(b.BalancedSize(), 0u);
+  EXPECT_EQ(b.TotalSize(), 0u);
+  EXPECT_TRUE(b.Empty());
+  EXPECT_TRUE(b.IsBalanced());
+
+  b.left = {0, 1, 2};
+  b.right = {4};
+  EXPECT_EQ(b.BalancedSize(), 1u);
+  EXPECT_EQ(b.TotalSize(), 4u);
+  EXPECT_FALSE(b.IsBalanced());
+  b.MakeBalanced();
+  EXPECT_TRUE(b.IsBalanced());
+  EXPECT_EQ(b.left.size(), 1u);
+  EXPECT_EQ(b.right.size(), 1u);
+}
+
+TEST(Biclique, MakeBalancedKeepsPrefix) {
+  Biclique b;
+  b.left = {5, 3, 9};
+  b.right = {1, 2};
+  b.MakeBalanced();
+  EXPECT_EQ(b.left, (std::vector<VertexId>{5, 3}));
+  EXPECT_EQ(b.right, (std::vector<VertexId>{1, 2}));
+}
+
+TEST(Biclique, IsBicliqueInValid) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  Biclique b;
+  b.left = {2, 3};   // paper vertices 3, 4
+  b.right = {2, 3};  // paper vertices 9, 10
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+  b.left = {2, 3, 4};  // 3, 4, 5
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(Biclique, IsBicliqueInDetectsMissingEdge) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  Biclique b;
+  b.left = {0, 1};   // paper vertices 1, 2
+  b.right = {0, 1};  // paper vertices 7, 8; 1-8 is not an edge
+  EXPECT_FALSE(b.IsBicliqueIn(g));
+}
+
+TEST(Biclique, IsBicliqueInDetectsDuplicatesAndRange) {
+  const BipartiteGraph g = testing::CompleteBipartite(3, 3);
+  Biclique b;
+  b.left = {0, 0};
+  b.right = {1, 2};
+  EXPECT_FALSE(b.IsBicliqueIn(g));  // duplicate left vertex
+  b.left = {0, 7};
+  EXPECT_FALSE(b.IsBicliqueIn(g));  // out of range
+}
+
+TEST(Biclique, EmptyBicliqueIsValidAnywhere) {
+  const BipartiteGraph g = testing::CompleteBipartite(2, 2);
+  Biclique b;
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(Biclique, ToStringFormat) {
+  Biclique b;
+  b.left = {1, 2};
+  b.right = {3};
+  EXPECT_EQ(b.ToString(), "{1,2|3}");
+  EXPECT_EQ(Biclique{}.ToString(), "{|}");
+}
+
+TEST(Biclique, BetterBalancedComparesMinSide) {
+  Biclique small;
+  small.left = {0};
+  small.right = {0};
+  Biclique large;
+  large.left = {0, 1};
+  large.right = {0, 1};
+  EXPECT_TRUE(BetterBalanced(large, small));
+  EXPECT_FALSE(BetterBalanced(small, large));
+}
+
+}  // namespace
+}  // namespace mbb

@@ -1,0 +1,231 @@
+#include "graph/bitset.h"
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mbb {
+namespace {
+
+TEST(Bitset, DefaultIsEmpty) {
+  Bitset b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_FALSE(b.Any());
+  EXPECT_TRUE(b.None());
+  EXPECT_EQ(b.FindFirst(), -1);
+}
+
+TEST(Bitset, ConstructAllZero) {
+  Bitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.Count(), 0u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(Bitset, ConstructAllOne) {
+  Bitset b(130, true);
+  EXPECT_EQ(b.Count(), 130u);
+  for (std::size_t i = 0; i < 130; ++i) EXPECT_TRUE(b[i]);
+}
+
+TEST(Bitset, SetResetAssign) {
+  Bitset b(100);
+  b.Set(3);
+  b.Set(99);
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_TRUE(b.Test(99));
+  EXPECT_EQ(b.Count(), 2u);
+  b.Reset(3);
+  EXPECT_FALSE(b.Test(3));
+  b.Assign(50, true);
+  EXPECT_TRUE(b.Test(50));
+  b.Assign(50, false);
+  EXPECT_FALSE(b.Test(50));
+}
+
+TEST(Bitset, SetAllResetAll) {
+  Bitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  b.ResetAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(Bitset, TailBitsStayZeroAfterSetAll) {
+  // 70 bits = 2 words; upper 58 bits of word 1 must stay clear so Count is
+  // exact.
+  Bitset b(70);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);
+  b.Resize(128, false);
+  EXPECT_EQ(b.Count(), 70u);
+  for (std::size_t i = 70; i < 128; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(Bitset, ResizeGrowWithValue) {
+  Bitset b(10);
+  b.Set(5);
+  b.Resize(100, true);
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_FALSE(b.Test(4));
+  for (std::size_t i = 10; i < 100; ++i) EXPECT_TRUE(b.Test(i));
+  EXPECT_EQ(b.Count(), 91u);
+}
+
+TEST(Bitset, ResizeShrinkClearsTail) {
+  Bitset b(100, true);
+  b.Resize(33);
+  EXPECT_EQ(b.size(), 33u);
+  EXPECT_EQ(b.Count(), 33u);
+  b.Resize(100, false);
+  EXPECT_EQ(b.Count(), 33u);
+}
+
+TEST(Bitset, FindFirstAndNext) {
+  Bitset b(200);
+  b.Set(7);
+  b.Set(64);
+  b.Set(199);
+  EXPECT_EQ(b.FindFirst(), 7);
+  EXPECT_EQ(b.FindNext(7), 64);
+  EXPECT_EQ(b.FindNext(64), 199);
+  EXPECT_EQ(b.FindNext(199), -1);
+  EXPECT_EQ(b.FindNext(0), 7);
+}
+
+TEST(Bitset, AndOrXor) {
+  Bitset a(80);
+  Bitset b(80);
+  a.Set(1);
+  a.Set(70);
+  b.Set(70);
+  b.Set(2);
+  const Bitset and_result = a & b;
+  EXPECT_EQ(and_result.Count(), 1u);
+  EXPECT_TRUE(and_result.Test(70));
+  const Bitset or_result = a | b;
+  EXPECT_EQ(or_result.Count(), 3u);
+  Bitset x = a;
+  x ^= b;
+  EXPECT_EQ(x.Count(), 2u);
+  EXPECT_TRUE(x.Test(1));
+  EXPECT_TRUE(x.Test(2));
+}
+
+TEST(Bitset, AndNot) {
+  Bitset a(80, true);
+  Bitset b(80);
+  b.Set(0);
+  b.Set(79);
+  const Bitset diff = Bitset::AndNot(a, b);
+  EXPECT_EQ(diff.Count(), 78u);
+  EXPECT_FALSE(diff.Test(0));
+  EXPECT_FALSE(diff.Test(79));
+}
+
+TEST(Bitset, CountAndWithoutMaterializing) {
+  Bitset a(100);
+  Bitset b(100);
+  for (std::size_t i = 0; i < 100; i += 2) a.Set(i);
+  for (std::size_t i = 0; i < 100; i += 3) b.Set(i);
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < 100; i += 6) ++expected;
+  EXPECT_EQ(a.CountAnd(b), expected);
+  EXPECT_EQ(a.CountAndNot(b), a.Count() - expected);
+}
+
+TEST(Bitset, IntersectsAndSubset) {
+  Bitset a(64);
+  Bitset b(64);
+  a.Set(10);
+  b.Set(11);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(10);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+}
+
+TEST(Bitset, ForEachAndToVector) {
+  Bitset b(300);
+  const std::vector<std::uint32_t> expected = {0, 63, 64, 128, 299};
+  for (const std::uint32_t i : expected) b.Set(i);
+  EXPECT_EQ(b.ToVector(), expected);
+  std::vector<std::uint32_t> seen;
+  b.ForEach([&seen](std::size_t i) {
+    seen.push_back(static_cast<std::uint32_t>(i));
+  });
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(Bitset, Equality) {
+  Bitset a(40);
+  Bitset b(40);
+  EXPECT_EQ(a, b);
+  a.Set(3);
+  EXPECT_NE(a, b);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+  // Same bits, different sizes: not equal.
+  Bitset c(41);
+  c.Set(3);
+  EXPECT_NE(a, c);
+}
+
+/// Randomized cross-check against std::vector<bool>.
+class BitsetRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitsetRandomTest, MatchesReference) {
+  std::mt19937_64 rng(GetParam());
+  const std::size_t n = 1 + rng() % 500;
+  Bitset a(n);
+  Bitset b(n);
+  std::vector<bool> ra(n, false);
+  std::vector<bool> rb(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng() & 1) {
+      a.Set(i);
+      ra[i] = true;
+    }
+    if (rng() & 1) {
+      b.Set(i);
+      rb[i] = true;
+    }
+  }
+  std::size_t expect_and = 0;
+  std::size_t expect_andnot = 0;
+  bool expect_intersects = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    expect_and += (ra[i] && rb[i]) ? 1 : 0;
+    expect_andnot += (ra[i] && !rb[i]) ? 1 : 0;
+    expect_intersects = expect_intersects || (ra[i] && rb[i]);
+  }
+  EXPECT_EQ(a.CountAnd(b), expect_and);
+  EXPECT_EQ(a.CountAndNot(b), expect_andnot);
+  EXPECT_EQ(a.Intersects(b), expect_intersects);
+
+  // Iteration agrees with Test().
+  std::size_t iterated = 0;
+  a.ForEach([&](std::size_t i) {
+    EXPECT_TRUE(ra[i]);
+    ++iterated;
+  });
+  EXPECT_EQ(iterated, a.Count());
+
+  // FindNext chain visits exactly the set bits.
+  std::vector<std::uint32_t> chain;
+  for (int i = a.FindFirst(); i >= 0;
+       i = a.FindNext(static_cast<std::size_t>(i))) {
+    chain.push_back(static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(chain, a.ToVector());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitsetRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace mbb

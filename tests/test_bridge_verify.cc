@@ -1,0 +1,131 @@
+#include "core/bridge_mbb.h"
+#include "core/verify_mbb.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+/// End-to-end bridge+verify against the brute-force oracle, as the sparse
+/// pipeline would run them (without step 1).
+std::uint32_t BridgeThenVerify(const BipartiteGraph& g,
+                               std::uint32_t initial_best,
+                               const BridgeOptions& bridge_options,
+                               const VerifyOptions& verify_options) {
+  const BridgeOutcome bridge = BridgeMbb(g, initial_best, bridge_options);
+  if (bridge.survivors.empty()) return bridge.best_size;
+  const VerifyOutcome verify =
+      VerifyMbb(g, bridge.best_size, bridge.survivors, verify_options);
+  return verify.best_size;
+}
+
+TEST(BridgeMbb, CompleteGraphPrunedByLocalHeuristic) {
+  const BipartiteGraph g = testing::CompleteBipartite(5, 5);
+  const BridgeOutcome out = BridgeMbb(g, 0, {});
+  // The local greedy finds the 5x5 biclique; all remaining centred
+  // subgraphs are strictly smaller and get pruned.
+  EXPECT_EQ(out.best_size, 5u);
+  EXPECT_TRUE(out.survivors.empty());
+}
+
+TEST(BridgeMbb, ImprovementIsValidBiclique) {
+  const BipartiteGraph g = testing::RandomGraph(20, 20, 0.35, 3);
+  const BridgeOutcome out = BridgeMbb(g, 0, {});
+  if (out.improved) {
+    EXPECT_TRUE(out.best.IsBicliqueIn(g));
+    EXPECT_EQ(out.best.BalancedSize(), out.best_size);
+  }
+}
+
+TEST(BridgeMbb, TightIncumbentPrunesEverything) {
+  const BipartiteGraph g = testing::RandomGraph(15, 15, 0.3, 4);
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+  const BridgeOutcome out = BridgeMbb(g, optimum, {});
+  // With the optimum as incumbent nothing can survive... unless pruning is
+  // imperfect; survivors are allowed but must then verify to no result.
+  const VerifyOutcome verify = VerifyMbb(g, optimum, out.survivors, {});
+  EXPECT_FALSE(verify.improved);
+  EXPECT_EQ(verify.best_size, optimum);
+}
+
+TEST(BridgeMbb, StatsCountSubgraphs) {
+  const BipartiteGraph g = testing::RandomGraph(20, 20, 0.25, 5);
+  const BridgeOutcome out = BridgeMbb(g, 0, {});
+  EXPECT_EQ(out.stats.subgraphs_total, g.NumVertices());
+  EXPECT_EQ(out.stats.terminated_step, 2);
+}
+
+class BridgeVerifyExactnessTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BridgeVerifyExactnessTest, MatchesBruteForceFromZero) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g = testing::RandomGraph(
+      8 + seed % 8, 8 + (seed * 3) % 8,
+      0.25 + 0.07 * static_cast<double>(seed % 5), seed);
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+  EXPECT_EQ(BridgeThenVerify(g, 0, {}, {}), optimum);
+}
+
+TEST_P(BridgeVerifyExactnessTest, MatchesBruteForceUnderAllOrders) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g = testing::RandomGraph(10, 10, 0.4, seed + 100);
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+  for (const VertexOrderKind kind :
+       {VertexOrderKind::kDegree, VertexOrderKind::kDegeneracy,
+        VertexOrderKind::kBidegeneracy}) {
+    BridgeOptions bridge_options;
+    bridge_options.order = kind;
+    EXPECT_EQ(BridgeThenVerify(g, 0, bridge_options, {}), optimum)
+        << ToString(kind);
+  }
+}
+
+TEST_P(BridgeVerifyExactnessTest, MatchesBruteForceWithoutCoreOpts) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g = testing::RandomGraph(10, 9, 0.45, seed + 200);
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+  BridgeOptions bridge_options;
+  bridge_options.use_degeneracy_pruning = false;
+  bridge_options.use_local_heuristic = false;
+  VerifyOptions verify_options;
+  verify_options.use_core_reduction = false;
+  EXPECT_EQ(BridgeThenVerify(g, 0, bridge_options, verify_options), optimum);
+}
+
+TEST_P(BridgeVerifyExactnessTest, MatchesBruteForceWithBasicBbSearch) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g = testing::RandomGraph(9, 10, 0.4, seed + 300);
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+  VerifyOptions verify_options;
+  verify_options.use_dense_search = false;  // bd3: basicBB verification
+  EXPECT_EQ(BridgeThenVerify(g, 0, {}, verify_options), optimum);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BridgeVerifyExactnessTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+TEST(VerifyMbb, EmptySurvivorListKeepsIncumbent) {
+  const BipartiteGraph g = testing::CompleteBipartite(3, 3);
+  const VerifyOutcome out = VerifyMbb(g, 2, {}, {});
+  EXPECT_FALSE(out.improved);
+  EXPECT_EQ(out.best_size, 2u);
+  EXPECT_TRUE(out.exact);
+}
+
+TEST(VerifyMbb, DeadlinePropagates) {
+  const BipartiteGraph g = testing::RandomGraph(14, 14, 0.5, 9);
+  const BridgeOutcome bridge = BridgeMbb(g, 0, {});
+  if (bridge.survivors.empty()) GTEST_SKIP() << "nothing to verify";
+  VerifyOptions options;
+  options.dense.limits = SearchLimits::FromSeconds(-1.0);
+  const VerifyOutcome out =
+      VerifyMbb(g, bridge.best_size, bridge.survivors, options);
+  EXPECT_FALSE(out.exact);
+}
+
+}  // namespace
+}  // namespace mbb

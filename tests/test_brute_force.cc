@@ -1,0 +1,71 @@
+#include "baselines/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(BruteForce, EmptyAndEdgeless) {
+  EXPECT_EQ(BruteForceMbbSize(BipartiteGraph::FromEdges(0, 0, {})), 0u);
+  EXPECT_EQ(BruteForceMbbSize(BipartiteGraph::FromEdges(5, 5, {})), 0u);
+}
+
+TEST(BruteForce, SingleEdge) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(1, 1, {{0, 0}});
+  const Biclique b = BruteForceMbb(g);
+  EXPECT_EQ(b.BalancedSize(), 1u);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(BruteForce, CompleteBipartite) {
+  const BipartiteGraph g = testing::CompleteBipartite(4, 9);
+  const Biclique b = BruteForceMbb(g);
+  EXPECT_EQ(b.BalancedSize(), 4u);
+  EXPECT_TRUE(b.IsBalanced());
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(BruteForce, PathGraphHasSizeOne) {
+  // Path l0 - r0 - l1 - r1: no 2x2 biclique exists.
+  const BipartiteGraph g =
+      BipartiteGraph::FromEdges(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  EXPECT_EQ(BruteForceMbbSize(g), 1u);
+}
+
+TEST(BruteForce, PaperExample) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const Biclique b = BruteForceMbb(g);
+  EXPECT_EQ(b.BalancedSize(), 2u);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(BruteForce, KnownPlantedBiclique) {
+  // 3x3 biclique planted in light noise; the optimum equals 3.
+  std::vector<Edge> edges = {{0, 3}, {4, 1}, {2, 4}};
+  for (VertexId l = 0; l < 3; ++l) {
+    for (VertexId r = 0; r < 3; ++r) edges.emplace_back(l, r);
+  }
+  const BipartiteGraph g = BipartiteGraph::FromEdges(6, 6, edges);
+  EXPECT_EQ(BruteForceMbbSize(g), 3u);
+}
+
+TEST(BruteForce, SwapsToSmallerSideInternally) {
+  // Left side larger than right: enumeration must transparently use the
+  // right side.
+  const BipartiteGraph g = testing::CompleteBipartite(30, 3);
+  EXPECT_EQ(BruteForceMbbSize(g), 3u);
+}
+
+TEST(BruteForce, ResultIsBalancedAndValid) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(9, 13, 0.35, seed);
+    const Biclique b = BruteForceMbb(g);
+    EXPECT_TRUE(b.IsBalanced());
+    EXPECT_TRUE(b.IsBicliqueIn(g));
+  }
+}
+
+}  // namespace
+}  // namespace mbb

@@ -1,0 +1,143 @@
+/// The integration sweep: every exact algorithm in the library must agree
+/// with the brute-force oracle (and hence with each other) across a grid of
+/// graph shapes, and every reported biclique must be valid and balanced.
+
+#include <gtest/gtest.h>
+
+#include "baselines/adapted.h"
+#include "baselines/brute_force.h"
+#include "baselines/ext_bbclq.h"
+#include "baselines/fmbe.h"
+#include "baselines/imbea.h"
+#include "core/basic_bb.h"
+#include "core/dense_mbb.h"
+#include "core/hbv_mbb.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+struct GridCase {
+  std::uint32_t nl;
+  std::uint32_t nr;
+  double density;
+  std::uint64_t seed;
+};
+
+class CrossValidationTest : public ::testing::TestWithParam<GridCase> {};
+
+void ExpectValidExact(const Biclique& b, const BipartiteGraph& g,
+                      std::uint32_t optimum, const char* name) {
+  EXPECT_EQ(b.BalancedSize(), optimum) << name;
+  EXPECT_TRUE(b.IsBalanced()) << name;
+  EXPECT_TRUE(b.IsBicliqueIn(g)) << name;
+}
+
+TEST_P(CrossValidationTest, AllExactAlgorithmsAgree) {
+  const GridCase& c = GetParam();
+  const BipartiteGraph g = testing::RandomGraph(c.nl, c.nr, c.density,
+                                                c.seed);
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+  const DenseSubgraph dense = testing::WholeGraphDense(g);
+
+  ExpectValidExact(BasicBbSolve(dense).best, g, optimum, "basicBB");
+  ExpectValidExact(DenseMbbSolve(dense).best, g, optimum, "denseMBB");
+  ExpectValidExact(HbvMbb(g).best, g, optimum, "hbvMBB");
+  ExpectValidExact(ExtBbclqSolve(g).best, g, optimum, "extBBCl");
+  ExpectValidExact(ImbeaSolve(g).best, g, optimum, "iMBEA");
+  ExpectValidExact(FmbeSolve(g).best, g, optimum, "FMBE");
+  ExpectValidExact(AdpSolve(g, AdpVariant::kAdp1).best, g, optimum, "adp1");
+  ExpectValidExact(AdpSolve(g, AdpVariant::kAdp3).best, g, optimum, "adp3");
+  ExpectValidExact(FindMaximumBalancedBiclique(g).best, g, optimum, "auto");
+}
+
+std::vector<GridCase> MakeGrid() {
+  std::vector<GridCase> cases;
+  std::uint64_t seed = 0;
+  for (const double density : {0.15, 0.35, 0.55, 0.8}) {
+    for (const auto& [nl, nr] :
+         std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+             {6, 6}, {9, 7}, {12, 12}, {5, 14}}) {
+      for (int rep = 0; rep < 3; ++rep) {
+        cases.push_back({nl, nr, density, ++seed * 997});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CrossValidationTest,
+                         ::testing::ValuesIn(MakeGrid()));
+
+/// Structured stress shapes beyond uniform random graphs.
+TEST(CrossValidationStructured, UnionOfBicliques) {
+  // Two disjoint planted bicliques of sizes 3 and 4; the optimum is 4.
+  std::vector<Edge> edges;
+  for (VertexId l = 0; l < 3; ++l) {
+    for (VertexId r = 0; r < 3; ++r) edges.emplace_back(l, r);
+  }
+  for (VertexId l = 3; l < 7; ++l) {
+    for (VertexId r = 3; r < 7; ++r) edges.emplace_back(l, r);
+  }
+  const BipartiteGraph g = BipartiteGraph::FromEdges(7, 7, edges);
+  EXPECT_EQ(BruteForceMbbSize(g), 4u);
+  EXPECT_EQ(HbvMbb(g).best.BalancedSize(), 4u);
+  EXPECT_EQ(DenseMbbSolve(testing::WholeGraphDense(g)).best.BalancedSize(),
+            4u);
+  EXPECT_EQ(ExtBbclqSolve(g).best.BalancedSize(), 4u);
+}
+
+TEST(CrossValidationStructured, CrownGraph) {
+  // K(n,n) minus a perfect matching ("crown"): MBB side size is n-1 for
+  // n >= 2 (pick all but one on each side avoiding the matched pairs).
+  const std::uint32_t n = 7;
+  std::vector<Edge> edges;
+  for (VertexId l = 0; l < n; ++l) {
+    for (VertexId r = 0; r < n; ++r) {
+      if (l != r) edges.emplace_back(l, r);
+    }
+  }
+  const BipartiteGraph g = BipartiteGraph::FromEdges(n, n, edges);
+  const std::uint32_t expected = BruteForceMbbSize(g);
+  EXPECT_EQ(DenseMbbSolve(testing::WholeGraphDense(g)).best.BalancedSize(),
+            expected);
+  EXPECT_EQ(HbvMbb(g).best.BalancedSize(), expected);
+  EXPECT_EQ(ImbeaSolve(g).best.BalancedSize(), expected);
+  EXPECT_EQ(FmbeSolve(g).best.BalancedSize(), expected);
+}
+
+TEST(CrossValidationStructured, LongPath) {
+  // A long alternating path: MBB is a single edge.
+  std::vector<Edge> edges;
+  for (VertexId i = 0; i < 10; ++i) {
+    edges.emplace_back(i, i);
+    if (i + 1 < 10) edges.emplace_back(i + 1, i);
+  }
+  const BipartiteGraph g = BipartiteGraph::FromEdges(10, 10, edges);
+  EXPECT_EQ(BruteForceMbbSize(g), 1u);
+  EXPECT_EQ(HbvMbb(g).best.BalancedSize(), 1u);
+  EXPECT_EQ(ExtBbclqSolve(g).best.BalancedSize(), 1u);
+}
+
+TEST(CrossValidationStructured, GridNeighborhoodGraph) {
+  // l adjacent to r iff |l - r| <= 2 (banded): optimum is small and
+  // structured; all algorithms must agree.
+  const std::uint32_t n = 12;
+  std::vector<Edge> edges;
+  for (VertexId l = 0; l < n; ++l) {
+    for (VertexId r = 0; r < n; ++r) {
+      if ((l > r ? l - r : r - l) <= 2) edges.emplace_back(l, r);
+    }
+  }
+  const BipartiteGraph g = BipartiteGraph::FromEdges(n, n, edges);
+  const std::uint32_t expected = BruteForceMbbSize(g);
+  EXPECT_EQ(expected, 3u);  // 3 consecutive vertices share 3 columns
+  EXPECT_EQ(HbvMbb(g).best.BalancedSize(), expected);
+  EXPECT_EQ(DenseMbbSolve(testing::WholeGraphDense(g)).best.BalancedSize(),
+            expected);
+  EXPECT_EQ(AdpSolve(g, AdpVariant::kAdp2).best.BalancedSize(), expected);
+  EXPECT_EQ(AdpSolve(g, AdpVariant::kAdp4).best.BalancedSize(), expected);
+}
+
+}  // namespace
+}  // namespace mbb

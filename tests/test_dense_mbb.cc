@@ -1,0 +1,181 @@
+#include "core/dense_mbb.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "core/basic_bb.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(DenseMbb, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(0, 0, {});
+  const MbbResult result = DenseMbbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), 0u);
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(DenseMbb, EdgelessGraph) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(5, 5, {});
+  const MbbResult result = DenseMbbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), 0u);
+}
+
+TEST(DenseMbb, CompleteGraphSolvedPolynomially) {
+  const BipartiteGraph g = testing::CompleteBipartite(6, 8);
+  const MbbResult result = DenseMbbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), 6u);
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+  // A complete graph reduces entirely via Lemma 1 promotions; no branching.
+  EXPECT_EQ(result.stats.recursions, 1u);
+}
+
+TEST(DenseMbb, PaperExample) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const MbbResult result = DenseMbbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), 2u);
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+}
+
+TEST(DenseMbb, DensePolyCaseDispatch) {
+  // 90%-dense instances mostly dispatch to Algorithm 2 quickly.
+  const BipartiteGraph g = testing::RandomGraph(18, 18, 0.9, 17);
+  const MbbResult result = DenseMbbSolve(testing::WholeGraphDense(g));
+  EXPECT_TRUE(result.exact);
+  EXPECT_GT(result.stats.poly_cases + result.stats.reduction_promoted, 0u);
+  EXPECT_EQ(result.best.BalancedSize(), BruteForceMbbSize(g));
+}
+
+TEST(DenseMbb, InitialBestSemantics) {
+  const BipartiteGraph g = testing::CompleteBipartite(4, 4);
+  const MbbResult at_optimum =
+      DenseMbbSolve(testing::WholeGraphDense(g), {}, 4);
+  EXPECT_TRUE(at_optimum.best.Empty());
+  const MbbResult below =
+      DenseMbbSolve(testing::WholeGraphDense(g), {}, 3);
+  EXPECT_EQ(below.best.BalancedSize(), 4u);
+}
+
+TEST(DenseMbb, AnchoredContainsAnchor) {
+  const BipartiteGraph g = testing::RandomGraph(9, 9, 0.55, 21);
+  const DenseSubgraph s = testing::WholeGraphDense(g);
+  for (VertexId anchor = 0; anchor < g.num_left(); ++anchor) {
+    const MbbResult result = DenseMbbSolveAnchored(s, anchor);
+    if (result.best.Empty()) continue;
+    EXPECT_TRUE(std::find(result.best.left.begin(), result.best.left.end(),
+                          anchor) != result.best.left.end());
+    EXPECT_TRUE(result.best.IsBicliqueIn(g));
+  }
+}
+
+TEST(DenseMbb, AnchoredBestOverAnchorsEqualsGlobal) {
+  const BipartiteGraph g = testing::RandomGraph(9, 8, 0.5, 22);
+  const DenseSubgraph s = testing::WholeGraphDense(g);
+  const std::uint32_t global = DenseMbbSolve(s).best.BalancedSize();
+  std::uint32_t best = 0;
+  for (VertexId anchor = 0; anchor < g.num_left(); ++anchor) {
+    best = std::max(best,
+                    DenseMbbSolveAnchored(s, anchor).best.BalancedSize());
+  }
+  EXPECT_EQ(best, global);
+}
+
+TEST(DenseMbb, RecursionLimitInjectsFailure) {
+  const BipartiteGraph g = testing::RandomGraph(14, 14, 0.5, 23);
+  DenseMbbOptions options;
+  options.limits.max_recursions = 3;
+  const MbbResult result =
+      DenseMbbSolve(testing::WholeGraphDense(g), options);
+  EXPECT_FALSE(result.exact);
+}
+
+TEST(DenseMbb, ExpiredDeadlineAborts) {
+  const BipartiteGraph g = testing::RandomGraph(14, 14, 0.5, 24);
+  DenseMbbOptions options;
+  options.limits = SearchLimits::FromSeconds(-1.0);
+  const MbbResult result =
+      DenseMbbSolve(testing::WholeGraphDense(g), options);
+  EXPECT_FALSE(result.exact);
+}
+
+/// All four ablation configurations must stay exact — the switches trade
+/// speed, never correctness.
+struct AblationCase {
+  bool reductions;
+  bool poly;
+  bool branching;
+  bool matching;
+};
+
+class DenseMbbAblationTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(DenseMbbAblationTest, ExactUnderAllSwitches) {
+  const auto [config, seed] = GetParam();
+  const AblationCase cases[] = {
+      {true, true, true, true},
+      {false, true, true, true},
+      {true, false, true, true},
+      {true, true, false, true},
+      {true, true, true, false},
+      {false, false, false, false},
+  };
+  const AblationCase& c = cases[config];
+  DenseMbbOptions options;
+  options.use_reductions = c.reductions;
+  options.use_poly_case = c.poly;
+  options.use_missing_branching = c.branching;
+  options.use_matching_bound = c.matching;
+
+  const std::uint32_t nl = 5 + seed % 6;
+  const std::uint32_t nr = 5 + (seed * 3) % 6;
+  const double density = 0.3 + 0.12 * static_cast<double>(seed % 5);
+  const BipartiteGraph g = testing::RandomGraph(nl, nr, density, seed + 500);
+  const MbbResult result =
+      DenseMbbSolve(testing::WholeGraphDense(g), options);
+  EXPECT_EQ(result.best.BalancedSize(), BruteForceMbbSize(g));
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, DenseMbbAblationTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Range<std::uint64_t>(0, 8)));
+
+/// The main exactness sweep, including the paper's dense densities.
+class DenseMbbRandomTest
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(DenseMbbRandomTest, MatchesBruteForce) {
+  const auto [density, seed] = GetParam();
+  const std::uint32_t nl = 6 + seed % 8;
+  const std::uint32_t nr = 6 + (seed * 5) % 8;
+  const BipartiteGraph g = testing::RandomGraph(nl, nr, density, seed);
+  const MbbResult result = DenseMbbSolve(testing::WholeGraphDense(g));
+  EXPECT_EQ(result.best.BalancedSize(), BruteForceMbbSize(g))
+      << "nl=" << nl << " nr=" << nr << " density=" << density;
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+  EXPECT_TRUE(result.best.IsBalanced());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DensityGrid, DenseMbbRandomTest,
+    ::testing::Combine(::testing::Values(0.1, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95),
+                       ::testing::Range<std::uint64_t>(0, 10)));
+
+TEST(DenseMbb, LargerDenseInstanceAgainstBasicBb) {
+  // Beyond brute-force comfort: cross-check the two exact searchers.
+  const BipartiteGraph g = testing::RandomGraph(24, 24, 0.85, 77);
+  const DenseSubgraph s = testing::WholeGraphDense(g);
+  const MbbResult dense = DenseMbbSolve(s);
+  const MbbResult basic = BasicBbSolve(s);
+  EXPECT_EQ(dense.best.BalancedSize(), basic.best.BalancedSize());
+  // denseMBB should need far fewer recursions on dense inputs.
+  EXPECT_LT(dense.stats.recursions, basic.stats.recursions);
+}
+
+}  // namespace
+}  // namespace mbb

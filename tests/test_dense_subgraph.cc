@@ -1,0 +1,97 @@
+#include "graph/dense_subgraph.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(DenseSubgraph, BuildWholeGraph) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const DenseSubgraph s = testing::WholeGraphDense(g);
+  EXPECT_EQ(s.num_left(), g.num_left());
+  EXPECT_EQ(s.num_right(), g.num_right());
+  EXPECT_EQ(s.CountEdges(), g.num_edges());
+  EXPECT_DOUBLE_EQ(s.Density(), g.Density());
+  for (VertexId l = 0; l < g.num_left(); ++l) {
+    for (VertexId r = 0; r < g.num_right(); ++r) {
+      EXPECT_EQ(s.HasEdge(l, r), g.HasEdge(l, r));
+    }
+  }
+}
+
+TEST(DenseSubgraph, RowsConsistent) {
+  const BipartiteGraph g = testing::RandomGraph(17, 23, 0.4, 3);
+  const DenseSubgraph s = testing::WholeGraphDense(g);
+  for (VertexId l = 0; l < s.num_left(); ++l) {
+    s.LeftRow(l).ForEach([&](std::size_t r) {
+      EXPECT_TRUE(s.RightRow(r).Test(l));
+    });
+    EXPECT_EQ(s.LeftDegree(l), g.Degree(Side::kLeft, l));
+  }
+  for (VertexId r = 0; r < s.num_right(); ++r) {
+    EXPECT_EQ(s.RightDegree(r), g.Degree(Side::kRight, r));
+  }
+}
+
+TEST(DenseSubgraph, BuildSubsetReindexes) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const std::vector<VertexId> left = {2, 4};   // paper 3, 5
+  const std::vector<VertexId> right = {2, 3};  // paper 9, 10
+  const DenseSubgraph s = DenseSubgraph::Build(g, left, right);
+  EXPECT_EQ(s.num_left(), 2u);
+  EXPECT_EQ(s.num_right(), 2u);
+  EXPECT_EQ(s.CountEdges(), 4u);  // complete between {3,5} and {9,10}
+  EXPECT_EQ(s.OriginalLeft(0), 2u);
+  EXPECT_EQ(s.OriginalLeft(1), 4u);
+  EXPECT_EQ(s.OriginalRight(1), 3u);
+}
+
+TEST(DenseSubgraph, BuildWithSwappedSides) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  // Centre on the right side: local "left" = right vertices {8, 11, 12}
+  // (ids 1, 4, 5), local "right" = left vertex {6} (id 5).
+  const std::vector<VertexId> local_left = {1, 4, 5};
+  const std::vector<VertexId> local_right = {5};
+  const DenseSubgraph s =
+      DenseSubgraph::Build(g, local_left, local_right, Side::kRight);
+  EXPECT_EQ(s.left_side(), Side::kRight);
+  EXPECT_EQ(s.num_left(), 3u);
+  EXPECT_EQ(s.num_right(), 1u);
+  // Paper vertex 6 is adjacent to 8, 11, 12: all three edges present.
+  EXPECT_EQ(s.CountEdges(), 3u);
+
+  Biclique local;
+  local.left = {0, 1};  // right-side vertices 8, 11
+  local.right = {0};    // left-side vertex 6
+  const Biclique original = s.ToOriginal(local);
+  // ToOriginal must restore true graph sides: left = {6}, right = {8, 11}.
+  EXPECT_EQ(original.left, (std::vector<VertexId>{5}));
+  EXPECT_EQ(original.right, (std::vector<VertexId>{1, 4}));
+  EXPECT_TRUE(original.IsBicliqueIn(g));
+}
+
+TEST(DenseSubgraph, FromLocalAdjacency) {
+  const DenseSubgraph s =
+      DenseSubgraph::FromLocalAdjacency(2, 3, {{0, 2}, {1}});
+  EXPECT_EQ(s.num_left(), 2u);
+  EXPECT_EQ(s.num_right(), 3u);
+  EXPECT_TRUE(s.HasEdge(0, 0));
+  EXPECT_TRUE(s.HasEdge(0, 2));
+  EXPECT_TRUE(s.HasEdge(1, 1));
+  EXPECT_FALSE(s.HasEdge(1, 0));
+  EXPECT_EQ(s.CountEdges(), 3u);
+}
+
+TEST(DenseSubgraph, EmptySubgraph) {
+  const BipartiteGraph g = testing::CompleteBipartite(3, 3);
+  const DenseSubgraph s = DenseSubgraph::Build(g, {}, {});
+  EXPECT_EQ(s.num_left(), 0u);
+  EXPECT_EQ(s.num_right(), 0u);
+  EXPECT_EQ(s.CountEdges(), 0u);
+  EXPECT_DOUBLE_EQ(s.Density(), 0.0);
+}
+
+}  // namespace
+}  // namespace mbb

@@ -1,0 +1,94 @@
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace mbb {
+namespace {
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer-name", "22"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer-name"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Four lines: header, separator, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TablePrinter, PadsMissingCells) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"only-one"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+TEST(FormatSeconds, Formats) {
+  EXPECT_EQ(FormatSeconds(0.8539), "0.854");
+  EXPECT_EQ(FormatSeconds(123.456), "123.5");
+  EXPECT_EQ(FormatSeconds(5.0, /*timed_out=*/true), "-");
+}
+
+TEST(WallTimer, MeasuresElapsed) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(timer.Seconds(), 0.009);
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 0.009);
+}
+
+TEST(RunWithTimeout, CapturesResultAndTime) {
+  const TimedRun run = RunWithTimeout(10.0, [](SearchLimits limits) {
+    EXPECT_TRUE(limits.has_deadline);
+    MbbResult result;
+    result.best.left = {0};
+    result.best.right = {0};
+    return result;
+  });
+  EXPECT_FALSE(run.timed_out);
+  EXPECT_EQ(run.result.best.BalancedSize(), 1u);
+  EXPECT_GE(run.seconds, 0.0);
+}
+
+TEST(RunWithTimeout, ReportsTimeout) {
+  const TimedRun run = RunWithTimeout(0.001, [](SearchLimits) {
+    MbbResult result;
+    result.exact = false;
+    return result;
+  });
+  EXPECT_TRUE(run.timed_out);
+}
+
+TEST(ParseBenchArgs, Defaults) {
+  const BenchConfig config = ParseBenchArgs(1, nullptr);
+  EXPECT_FALSE(config.full);
+  EXPECT_DOUBLE_EQ(config.timeout_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(config.EffectiveScale(0.1), 0.1);
+}
+
+TEST(ParseBenchArgs, ParsesFlags) {
+  const char* argv[] = {"bench", "--full", "--timeout", "5", "--scale",
+                        "0.25"};
+  const BenchConfig config = ParseBenchArgs(6, const_cast<char**>(argv));
+  EXPECT_TRUE(config.full);
+  EXPECT_DOUBLE_EQ(config.timeout_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(config.EffectiveScale(0.1), 0.25);
+}
+
+TEST(ParseBenchArgs, FullImpliesScaleOne) {
+  const char* argv[] = {"bench", "--full"};
+  const BenchConfig config = ParseBenchArgs(2, const_cast<char**>(argv));
+  EXPECT_DOUBLE_EQ(config.EffectiveScale(0.1), 1.0);
+}
+
+}  // namespace
+}  // namespace mbb

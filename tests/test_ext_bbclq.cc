@@ -1,0 +1,101 @@
+#include "baselines/ext_bbclq.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(ExtBbclqBounds, CompleteGraphBounds) {
+  const BipartiteGraph g = testing::CompleteBipartite(4, 4);
+  const ExtBbclqBounds bounds = ComputeExtBbclqBounds(g);
+  for (std::uint32_t v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(bounds.ub[v], 4u);
+    EXPECT_EQ(bounds.tight[v], 4u);
+  }
+}
+
+TEST(ExtBbclqBounds, BoundsAreValidUpperBounds) {
+  // For any vertex in a maximum balanced biclique of side k, both ub and
+  // tight must be at least k: the paper's §3 shows the bounds over-estimate
+  // (that is their weakness), never under-estimate.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(10, 10, 0.5, seed);
+    const Biclique best = BruteForceMbb(g);
+    const std::uint32_t k = best.BalancedSize();
+    const ExtBbclqBounds bounds = ComputeExtBbclqBounds(g);
+    for (const VertexId l : best.left) {
+      EXPECT_GE(bounds.ub[g.GlobalIndex(Side::kLeft, l)], k);
+      EXPECT_GE(bounds.tight[g.GlobalIndex(Side::kLeft, l)], k);
+    }
+    for (const VertexId r : best.right) {
+      EXPECT_GE(bounds.ub[g.GlobalIndex(Side::kRight, r)], k);
+      EXPECT_GE(bounds.tight[g.GlobalIndex(Side::kRight, r)], k);
+    }
+  }
+}
+
+TEST(ExtBbclqBounds, DenseGraphBoundsAreLoose) {
+  // §3's motivating observation: on dense graphs nearly every vertex looks
+  // promising — the tight bound rarely dips below the optimum, so
+  // bound-based pruning barely fires.
+  const BipartiteGraph g = testing::RandomGraph(12, 12, 0.85, 7);
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+  const ExtBbclqBounds bounds = ComputeExtBbclqBounds(g);
+  std::uint32_t promising = 0;
+  for (std::uint32_t v = 0; v < g.NumVertices(); ++v) {
+    promising += bounds.tight[v] >= optimum ? 1 : 0;
+  }
+  // At least half the vertices cannot be pruned by the tight bound.
+  EXPECT_GE(2 * promising, g.NumVertices());
+}
+
+TEST(ExtBbclq, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(0, 0, {});
+  const MbbResult result = ExtBbclqSolve(g);
+  EXPECT_EQ(result.best.BalancedSize(), 0u);
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(ExtBbclq, PaperExample) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const MbbResult result = ExtBbclqSolve(g);
+  EXPECT_EQ(result.best.BalancedSize(), 2u);
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+}
+
+TEST(ExtBbclq, RecursionLimitInjectsTimeout) {
+  const BipartiteGraph g = testing::RandomGraph(14, 14, 0.5, 8);
+  SearchLimits limits;
+  limits.max_recursions = 10;
+  const MbbResult result = ExtBbclqSolve(g, limits);
+  EXPECT_FALSE(result.exact);
+}
+
+TEST(ExtBbclq, InitialBestSuppressesEqual) {
+  const BipartiteGraph g = testing::CompleteBipartite(3, 3);
+  const MbbResult result = ExtBbclqSolve(g, {}, 3);
+  EXPECT_TRUE(result.best.Empty());
+}
+
+class ExtBbclqRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExtBbclqRandomTest, MatchesBruteForce) {
+  const std::uint64_t seed = GetParam();
+  const std::uint32_t nl = 5 + seed % 8;
+  const std::uint32_t nr = 5 + (seed * 3) % 8;
+  const double density = 0.2 + 0.1 * static_cast<double>(seed % 6);
+  const BipartiteGraph g = testing::RandomGraph(nl, nr, density, seed + 40);
+  const MbbResult result = ExtBbclqSolve(g);
+  EXPECT_EQ(result.best.BalancedSize(), BruteForceMbbSize(g));
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+  EXPECT_TRUE(result.best.IsBalanced());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtBbclqRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+}  // namespace
+}  // namespace mbb

@@ -1,0 +1,113 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/biclique.h"
+
+namespace mbb {
+namespace {
+
+TEST(Generators, UniformDensityDenseRegime) {
+  const BipartiteGraph g = RandomUniform(100, 100, 0.8, 1);
+  const double density = g.Density();
+  EXPECT_NEAR(density, 0.8, 0.03);
+}
+
+TEST(Generators, UniformDensitySparseRegime) {
+  const BipartiteGraph g = RandomUniform(500, 500, 0.01, 2);
+  EXPECT_NEAR(g.Density(), 0.01, 0.002);
+}
+
+TEST(Generators, UniformExtremes) {
+  const BipartiteGraph empty = RandomUniform(50, 50, 0.0, 3);
+  EXPECT_EQ(empty.num_edges(), 0u);
+  const BipartiteGraph full = RandomUniform(20, 20, 1.0, 4);
+  EXPECT_EQ(full.num_edges(), 400u);
+}
+
+TEST(Generators, UniformDeterministicInSeed) {
+  const BipartiteGraph a = RandomUniform(50, 60, 0.3, 77);
+  const BipartiteGraph b = RandomUniform(50, 60, 0.3, 77);
+  EXPECT_EQ(a.CollectEdges(), b.CollectEdges());
+  const BipartiteGraph c = RandomUniform(50, 60, 0.3, 78);
+  EXPECT_NE(a.CollectEdges(), c.CollectEdges());
+}
+
+TEST(Generators, ChungLuHitsEdgeTarget) {
+  const BipartiteGraph g = RandomChungLu(2000, 1500, 10000, 2.1, 5);
+  EXPECT_GE(g.num_edges(), 9000u);
+  EXPECT_LE(g.num_edges(), 10000u);
+}
+
+TEST(Generators, ChungLuIsHeavyTailed) {
+  const BipartiteGraph g = RandomChungLu(5000, 5000, 20000, 2.1, 6);
+  const double average = 2.0 * static_cast<double>(g.num_edges()) /
+                         static_cast<double>(g.NumVertices());
+  // Hubs should far exceed the average degree.
+  EXPECT_GT(g.MaxDegree(), static_cast<std::uint32_t>(10 * average));
+}
+
+TEST(Generators, ChungLuEmptyInputs) {
+  EXPECT_EQ(RandomChungLu(0, 10, 100, 2.1, 7).num_edges(), 0u);
+  EXPECT_EQ(RandomChungLu(10, 10, 0, 2.1, 7).num_edges(), 0u);
+}
+
+TEST(Generators, PlantedBicliqueIsComplete) {
+  std::vector<Edge> edges;
+  Rng rng(9);
+  const PlantedBiclique planted =
+      PlantBalancedBiclique(100, 80, 6, rng, edges);
+  EXPECT_EQ(planted.left.size(), 6u);
+  EXPECT_EQ(planted.right.size(), 6u);
+  const BipartiteGraph g = BipartiteGraph::FromEdges(100, 80, edges);
+  Biclique b;
+  b.left = planted.left;
+  b.right = planted.right;
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(Generators, PlantedVerticesAreDistinct) {
+  std::vector<Edge> edges;
+  Rng rng(10);
+  const PlantedBiclique planted =
+      PlantBalancedBiclique(10, 10, 10, rng, edges);
+  std::vector<VertexId> left = planted.left;
+  std::sort(left.begin(), left.end());
+  EXPECT_EQ(std::unique(left.begin(), left.end()), left.end());
+  EXPECT_EQ(left.front(), 0u);
+  EXPECT_EQ(left.back(), 9u);  // k == n selects everything
+}
+
+TEST(Generators, SparseWithPlantedContainsPlant) {
+  // The planted biclique must survive graph construction (dedup etc.):
+  // the graph must contain a 5x5 biclique, hence minimum degree 5 within
+  // it, hence a 5-core.
+  const BipartiteGraph g = RandomSparseWithPlanted(300, 300, 900, 5, 2.1, 11);
+  std::uint32_t at_least_five_left = 0;
+  for (VertexId l = 0; l < g.num_left(); ++l) {
+    at_least_five_left += g.Degree(Side::kLeft, l) >= 5 ? 1 : 0;
+  }
+  EXPECT_GE(at_least_five_left, 5u);
+}
+
+TEST(Generators, LeftRegularishDegreeBounds) {
+  const BipartiteGraph g = RandomLeftRegularish(200, 50, 3, 7, 12);
+  for (VertexId l = 0; l < g.num_left(); ++l) {
+    EXPECT_GE(g.Degree(Side::kLeft, l), 3u);
+    EXPECT_LE(g.Degree(Side::kLeft, l), 7u);
+  }
+}
+
+TEST(Generators, LeftRegularishNeighborsDistinct) {
+  // Partial Fisher-Yates must never assign duplicate neighbours.
+  const BipartiteGraph g = RandomLeftRegularish(100, 10, 10, 10, 13);
+  for (VertexId l = 0; l < g.num_left(); ++l) {
+    EXPECT_EQ(g.Degree(Side::kLeft, l), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace mbb

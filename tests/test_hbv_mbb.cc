@@ -1,0 +1,142 @@
+#include "core/hbv_mbb.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(HbvMbb, EmptyGraph) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(0, 0, {});
+  const MbbResult result = HbvMbb(g);
+  EXPECT_EQ(result.best.BalancedSize(), 0u);
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(HbvMbb, EdgelessGraph) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(6, 4, {});
+  const MbbResult result = HbvMbb(g);
+  EXPECT_TRUE(result.best.Empty());
+  EXPECT_EQ(result.stats.terminated_step, 1);
+}
+
+TEST(HbvMbb, SingleEdge) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(1, 1, {{0, 0}});
+  const MbbResult result = HbvMbb(g);
+  EXPECT_EQ(result.best.BalancedSize(), 1u);
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+}
+
+TEST(HbvMbb, StarGraph) {
+  std::vector<Edge> edges;
+  for (VertexId r = 0; r < 10; ++r) edges.emplace_back(0, r);
+  const BipartiteGraph g = BipartiteGraph::FromEdges(1, 10, edges);
+  const MbbResult result = HbvMbb(g);
+  EXPECT_EQ(result.best.BalancedSize(), 1u);
+  // The heuristic + Lemma 5 solve stars at step 1.
+  EXPECT_EQ(result.stats.terminated_step, 1);
+}
+
+TEST(HbvMbb, PaperExampleEndsAtStepOne) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const MbbResult result = HbvMbb(g);
+  EXPECT_EQ(result.best.BalancedSize(), 2u);
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+  EXPECT_EQ(result.stats.terminated_step, 1);
+}
+
+TEST(HbvMbb, TerminatedStepIsAlwaysReported) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(20, 20, 0.3, seed);
+    const MbbResult result = HbvMbb(g);
+    EXPECT_GE(result.stats.terminated_step, 1);
+    EXPECT_LE(result.stats.terminated_step, 3);
+  }
+}
+
+TEST(HbvMbb, FindsPlantedOptimum) {
+  const BipartiteGraph g =
+      RandomSparseWithPlanted(150, 150, 300, 5, 2.1, 42);
+  const MbbResult result = HbvMbb(g);
+  EXPECT_GE(result.best.BalancedSize(), 5u);
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+}
+
+TEST(HbvMbb, DeadlineProducesInexactFlag) {
+  const BipartiteGraph g = testing::RandomGraph(30, 30, 0.5, 43);
+  HbvOptions options;
+  options.limits = SearchLimits::FromSeconds(-1.0);
+  const MbbResult result = HbvMbb(g, options);
+  // Either it solved in steps 1-2 (no exhaustive search needed) or the
+  // verification aborted and exactness is dropped.
+  if (result.stats.terminated_step == 3) {
+    EXPECT_FALSE(result.exact);
+  }
+}
+
+/// All variants (hbvMBB and bd1..bd5) are exact on random graphs.
+class HbvVariantTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(HbvVariantTest, AllVariantsMatchBruteForce) {
+  const auto [variant, seed] = GetParam();
+  const HbvOptions options[] = {
+      HbvOptions{},       HbvOptions::Bd1(), HbvOptions::Bd2(),
+      HbvOptions::Bd3(),  HbvOptions::Bd4(), HbvOptions::Bd5(),
+  };
+  const std::uint32_t nl = 8 + seed % 7;
+  const std::uint32_t nr = 8 + (seed * 3) % 7;
+  const double density = 0.2 + 0.08 * static_cast<double>(seed % 6);
+  const BipartiteGraph g = testing::RandomGraph(nl, nr, density, seed * 13);
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+
+  const MbbResult result = HbvMbb(g, options[variant]);
+  EXPECT_EQ(result.best.BalancedSize(), optimum)
+      << "variant " << variant << " seed " << seed;
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+  EXPECT_TRUE(result.best.IsBalanced());
+  EXPECT_TRUE(result.exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsBySeed, HbvVariantTest,
+    ::testing::Combine(::testing::Range(0, 6),
+                       ::testing::Range<std::uint64_t>(0, 12)));
+
+/// Denser, planted, and skewed shapes.
+class HbvShapeTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HbvShapeTest, SkewedSidesExact) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g = testing::RandomGraph(4, 20, 0.45, seed + 700);
+  EXPECT_EQ(HbvMbb(g).best.BalancedSize(), BruteForceMbbSize(g));
+}
+
+TEST_P(HbvShapeTest, PlantedSparseExact) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g =
+      RandomSparseWithPlanted(20, 20, 50, 4, 2.1, seed + 800);
+  const MbbResult result = HbvMbb(g);
+  EXPECT_EQ(result.best.BalancedSize(), BruteForceMbbSize(g));
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HbvShapeTest,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+TEST(FindMaximumBalancedBiclique, DispatchesDense) {
+  const BipartiteGraph g = testing::RandomGraph(12, 12, 0.9, 900);
+  const MbbResult result = FindMaximumBalancedBiclique(g);
+  EXPECT_EQ(result.best.BalancedSize(), BruteForceMbbSize(g));
+}
+
+TEST(FindMaximumBalancedBiclique, DispatchesSparse) {
+  const BipartiteGraph g = testing::RandomGraph(20, 20, 0.1, 901);
+  const MbbResult result = FindMaximumBalancedBiclique(g);
+  EXPECT_EQ(result.best.BalancedSize(), BruteForceMbbSize(g));
+}
+
+}  // namespace
+}  // namespace mbb

@@ -1,0 +1,140 @@
+#include "core/heuristic_mbb.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "order/core_decomposition.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(GreedyMbb, EmptyAndEdgelessGraphs) {
+  const BipartiteGraph empty = BipartiteGraph::FromEdges(0, 0, {});
+  EXPECT_TRUE(GreedyMbb(empty, DegreeScores(empty)).Empty());
+  const BipartiteGraph edgeless = BipartiteGraph::FromEdges(4, 4, {});
+  EXPECT_TRUE(GreedyMbb(edgeless, DegreeScores(edgeless)).Empty());
+}
+
+TEST(GreedyMbb, CompleteGraphIsExact) {
+  const BipartiteGraph g = testing::CompleteBipartite(5, 9);
+  const Biclique b = GreedyMbb(g, DegreeScores(g));
+  EXPECT_EQ(b.BalancedSize(), 5u);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+  EXPECT_TRUE(b.IsBalanced());
+}
+
+TEST(GreedyMbb, ResultIsAlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const BipartiteGraph g =
+        testing::RandomGraph(15, 15, 0.2 + 0.03 * (seed % 10), seed);
+    const Biclique b = GreedyMbb(g, DegreeScores(g));
+    EXPECT_TRUE(b.IsBicliqueIn(g)) << "seed " << seed;
+    EXPECT_TRUE(b.IsBalanced());
+  }
+}
+
+TEST(GreedyMbb, NeverExceedsOptimum) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(10, 10, 0.4, seed + 30);
+    EXPECT_LE(GreedyMbb(g, DegreeScores(g)).BalancedSize(),
+              BruteForceMbbSize(g));
+  }
+}
+
+TEST(GreedyMbb, FindsStructureInSparseNoise) {
+  const BipartiteGraph g =
+      RandomSparseWithPlanted(200, 200, 400, 6, 2.1, 99);
+  const Biclique b = GreedyMbb(g, DegreeScores(g));
+  // The degree-seeded greedy lands on hubs rather than the planted 6x6, so
+  // a gap to the optimum is expected (the paper's Figure 4 reports gaps up
+  // to 10); it must still recover a non-trivial biclique.
+  EXPECT_GE(b.BalancedSize(), 2u);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(HMbb, CoreHeuristicNarrowsPlantedGap) {
+  // hMBB's second pass seeds at maximum-core vertices; the planted 6x6 is
+  // exactly the high-core region, so step 1 alone should get close.
+  const BipartiteGraph g =
+      RandomSparseWithPlanted(200, 200, 400, 6, 2.1, 99);
+  const HMbbOutcome out = HMbb(g);
+  EXPECT_GE(out.best.BalancedSize(), 4u);
+  EXPECT_TRUE(out.best.IsBicliqueIn(g));
+}
+
+TEST(DegreeScores, MatchesDegrees) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const std::vector<std::uint32_t> scores = DegreeScores(g);
+  EXPECT_EQ(scores[g.GlobalIndex(Side::kLeft, 2)], 3u);   // paper vertex 3
+  EXPECT_EQ(scores[g.GlobalIndex(Side::kRight, 0)], 2u);  // paper vertex 7
+}
+
+TEST(HMbb, PaperExampleTerminatesExactly) {
+  // The paper works through this example: the core-based heuristic finds
+  // ({3,4},{9,10}) and Lemma 5 certifies it (2δ == |A*|+|B*|).
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const HMbbOutcome out = HMbb(g);
+  EXPECT_EQ(out.best.BalancedSize(), 2u);
+  EXPECT_TRUE(out.solved_exactly);
+  EXPECT_TRUE(out.best.IsBicliqueIn(g));
+}
+
+TEST(HMbb, CompleteGraphSolvedExactly) {
+  const BipartiteGraph g = testing::CompleteBipartite(6, 6);
+  const HMbbOutcome out = HMbb(g);
+  EXPECT_EQ(out.best.BalancedSize(), 6u);
+  EXPECT_TRUE(out.solved_exactly);
+}
+
+TEST(HMbb, EdgelessGraphSolvedExactly) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(4, 4, {});
+  const HMbbOutcome out = HMbb(g);
+  EXPECT_TRUE(out.solved_exactly);
+  EXPECT_TRUE(out.best.Empty());
+}
+
+TEST(HMbb, ReducedGraphHasHighCores) {
+  // Every vertex of the residual graph must lie in the (k+1)-core.
+  const BipartiteGraph g = testing::RandomGraph(60, 60, 0.15, 7);
+  const HMbbOutcome out = HMbb(g);
+  if (out.solved_exactly) return;
+  const std::uint32_t k = out.best.BalancedSize();
+  const CoreDecomposition cores = ComputeCores(out.reduced);
+  for (std::uint32_t v = 0; v < out.reduced.NumVertices(); ++v) {
+    EXPECT_GE(cores.core[v], k + 1);
+  }
+}
+
+TEST(HMbb, MapsAreConsistent) {
+  const BipartiteGraph g = testing::RandomGraph(50, 50, 0.2, 8);
+  const HMbbOutcome out = HMbb(g);
+  if (out.solved_exactly) return;
+  ASSERT_EQ(out.left_map.size(), out.reduced.num_left());
+  ASSERT_EQ(out.right_map.size(), out.reduced.num_right());
+  // Every edge of the reduced graph must exist in the original.
+  for (const Edge& e : out.reduced.CollectEdges()) {
+    EXPECT_TRUE(g.HasEdge(out.left_map[e.first], out.right_map[e.second]));
+  }
+}
+
+TEST(HMbb, ReductionPreservesOptimumWhenImprovable) {
+  // Lemma 4: vertices outside the (k+1)-core cannot be in a biclique
+  // larger than k, so if the optimum exceeds the heuristic value the
+  // reduced graph still contains an optimum.
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(12, 12, 0.45, seed + 60);
+    const std::uint32_t optimum = BruteForceMbbSize(g);
+    const HMbbOutcome out = HMbb(g);
+    EXPECT_LE(out.best.BalancedSize(), optimum);
+    EXPECT_TRUE(out.best.IsBicliqueIn(g));
+    if (out.solved_exactly) {
+      EXPECT_EQ(out.best.BalancedSize(), optimum);
+    } else if (optimum > out.best.BalancedSize()) {
+      EXPECT_EQ(BruteForceMbbSize(out.reduced), optimum);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbb

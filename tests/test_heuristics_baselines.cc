@@ -1,0 +1,140 @@
+#include "baselines/pols.h"
+#include "baselines/sbmnas.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/adapted.h"
+#include "baselines/brute_force.h"
+#include "baselines/local_search.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(LocalSearch, CommonNeighborsBasic) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  // Left vertices adjacent to both {9, 10} (ids 2, 3): paper 3, 4, 5.
+  const std::vector<VertexId> others = {2, 3};
+  const std::vector<VertexId> result =
+      CommonNeighbors(g, Side::kLeft, others, {}, 10);
+  EXPECT_EQ(result.size(), 3u);
+  for (const VertexId v : result) {
+    EXPECT_TRUE(AdjacentToAll(g, Side::kLeft, v, others));
+  }
+}
+
+TEST(LocalSearch, ExcludeListRespected) {
+  const BipartiteGraph g = testing::CompleteBipartite(5, 5);
+  const std::vector<VertexId> others = {0, 1};
+  const std::vector<VertexId> exclude = {0, 2};
+  const std::vector<VertexId> result =
+      CommonNeighbors(g, Side::kLeft, others, exclude, 10);
+  for (const VertexId v : result) {
+    EXPECT_NE(v, 0u);
+    EXPECT_NE(v, 2u);
+  }
+  EXPECT_EQ(result.size(), 3u);
+}
+
+TEST(LocalSearch, SeedFromAnyEdge) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const Biclique seed = SeedFromAnyEdge(g);
+  EXPECT_EQ(seed.BalancedSize(), 1u);
+  EXPECT_TRUE(seed.IsBicliqueIn(g));
+  EXPECT_TRUE(SeedFromAnyEdge(BipartiteGraph::FromEdges(3, 3, {})).Empty());
+}
+
+TEST(Pols, EmptyAndEdgeless) {
+  EXPECT_TRUE(PolsSolve(BipartiteGraph::FromEdges(0, 0, {})).Empty());
+  EXPECT_TRUE(PolsSolve(BipartiteGraph::FromEdges(4, 4, {})).Empty());
+}
+
+TEST(Pols, CompleteGraphReachesOptimum) {
+  const BipartiteGraph g = testing::CompleteBipartite(6, 6);
+  const Biclique b = PolsSolve(g);
+  EXPECT_EQ(b.BalancedSize(), 6u);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(Pols, AlwaysValidAndBounded) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(12, 12, 0.4, seed);
+    PolsOptions options;
+    options.seed = seed;
+    const Biclique b = PolsSolve(g, options);
+    EXPECT_TRUE(b.IsBicliqueIn(g)) << "seed " << seed;
+    EXPECT_TRUE(b.IsBalanced());
+    EXPECT_LE(b.BalancedSize(), BruteForceMbbSize(g));
+  }
+}
+
+TEST(Pols, DeterministicInSeed) {
+  const BipartiteGraph g = testing::RandomGraph(20, 20, 0.3, 5);
+  PolsOptions options;
+  options.seed = 123;
+  const Biclique a = PolsSolve(g, options);
+  const Biclique b = PolsSolve(g, options);
+  EXPECT_EQ(a.left, b.left);
+  EXPECT_EQ(a.right, b.right);
+}
+
+TEST(Sbmnas, EmptyAndEdgeless) {
+  EXPECT_TRUE(SbmnasSolve(BipartiteGraph::FromEdges(0, 0, {})).Empty());
+  EXPECT_TRUE(SbmnasSolve(BipartiteGraph::FromEdges(4, 4, {})).Empty());
+}
+
+TEST(Sbmnas, CompleteGraphReachesOptimum) {
+  const BipartiteGraph g = testing::CompleteBipartite(5, 8);
+  const Biclique b = SbmnasSolve(g);
+  EXPECT_EQ(b.BalancedSize(), 5u);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(Sbmnas, AlwaysValidAndBounded) {
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(12, 12, 0.4, seed + 50);
+    SbmnasOptions options;
+    options.seed = seed;
+    const Biclique b = SbmnasSolve(g, options);
+    EXPECT_TRUE(b.IsBicliqueIn(g)) << "seed " << seed;
+    EXPECT_TRUE(b.IsBalanced());
+    EXPECT_LE(b.BalancedSize(), BruteForceMbbSize(g));
+  }
+}
+
+TEST(Sbmnas, FindsPlantedStructure) {
+  const BipartiteGraph g =
+      RandomSparseWithPlanted(100, 100, 200, 5, 2.1, 77);
+  const Biclique b = SbmnasSolve(g);
+  EXPECT_GE(b.BalancedSize(), 3u);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(Adapted, ToStringNames) {
+  EXPECT_STREQ(ToString(AdpVariant::kAdp1), "adp1");
+  EXPECT_STREQ(ToString(AdpVariant::kAdp4), "adp4");
+}
+
+class AdpExactnessTest
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(AdpExactnessTest, MatchesBruteForce) {
+  const auto [variant_index, seed] = GetParam();
+  const AdpVariant variant = static_cast<AdpVariant>(variant_index);
+  const BipartiteGraph g = testing::RandomGraph(
+      6 + seed % 7, 6 + (seed * 3) % 7,
+      0.25 + 0.08 * static_cast<double>(seed % 5), seed + 90);
+  const MbbResult result = AdpSolve(g, variant);
+  EXPECT_EQ(result.best.BalancedSize(), BruteForceMbbSize(g))
+      << ToString(variant) << " seed " << seed;
+  EXPECT_TRUE(result.best.IsBicliqueIn(g));
+  EXPECT_TRUE(result.exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    VariantsBySeed, AdpExactnessTest,
+    ::testing::Combine(::testing::Range(0, 4),
+                       ::testing::Range<std::uint64_t>(0, 10)));
+
+}  // namespace
+}  // namespace mbb

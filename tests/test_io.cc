@@ -1,0 +1,94 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(Io, ReadBasicEdgeList) {
+  std::istringstream in("1 1\n2 3\n1 2\n");
+  const BipartiteGraph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_left(), 2u);
+  EXPECT_EQ(g.num_right(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(Io, SkipsCommentsAndBlankLines) {
+  std::istringstream in(
+      "% KONECT header\n"
+      "# another comment\n"
+      "\n"
+      "   \t \n"
+      "1 1\n"
+      "% trailing comment\n"
+      "2 2\n");
+  const BipartiteGraph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(Io, IgnoresWeightAndTimestampColumns) {
+  std::istringstream in("1 1 5.0 1234567\n2 1 1.0 1234568\n");
+  const BipartiteGraph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.num_left(), 2u);
+  EXPECT_EQ(g.num_right(), 1u);
+}
+
+TEST(Io, DeduplicatesRepeatedEdges) {
+  std::istringstream in("1 1\n1 1\n1 1\n");
+  const BipartiteGraph g = ReadEdgeList(in);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Io, EmptyInputYieldsEmptyGraph) {
+  std::istringstream in("% nothing\n");
+  const BipartiteGraph g = ReadEdgeList(in);
+  EXPECT_EQ(g.NumVertices(), 0u);
+}
+
+TEST(Io, MalformedLineThrows) {
+  std::istringstream in("1 x\n");
+  EXPECT_THROW(ReadEdgeList(in), std::runtime_error);
+  std::istringstream zero("0 1\n");
+  EXPECT_THROW(ReadEdgeList(zero), std::runtime_error);
+}
+
+TEST(Io, WriteReadRoundTrip) {
+  const BipartiteGraph g = testing::RandomGraph(25, 18, 0.2, 11);
+  std::stringstream buffer;
+  WriteEdgeList(g, buffer);
+  const BipartiteGraph g2 = ReadEdgeList(buffer);
+  // Vertex counts can shrink if trailing vertices are isolated; edges and
+  // adjacency must match exactly.
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (const Edge& e : g.CollectEdges()) {
+    EXPECT_TRUE(g2.HasEdge(e.first, e.second));
+  }
+}
+
+TEST(Io, FileRoundTrip) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const std::string path = ::testing::TempDir() + "/mbb_io_test.txt";
+  SaveEdgeListFile(g, path);
+  const BipartiteGraph g2 = LoadEdgeListFile(path);
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(LoadEdgeListFile("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mbb

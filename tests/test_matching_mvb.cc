@@ -1,0 +1,174 @@
+#include "core/mvb.h"
+#include "order/matching.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+/// Exhaustive maximum matching for tiny graphs (independent oracle).
+std::uint32_t NaiveMaxMatching(const BipartiteGraph& g) {
+  std::vector<Edge> edges = g.CollectEdges();
+  std::uint32_t best = 0;
+  const std::size_t m = edges.size();
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    std::vector<bool> used_left(g.num_left(), false);
+    std::vector<bool> used_right(g.num_right(), false);
+    std::uint32_t size = 0;
+    bool valid = true;
+    for (std::size_t i = 0; i < m && valid; ++i) {
+      if (!(mask >> i & 1)) continue;
+      const auto [l, r] = edges[i];
+      if (used_left[l] || used_right[r]) {
+        valid = false;
+      } else {
+        used_left[l] = true;
+        used_right[r] = true;
+        ++size;
+      }
+    }
+    if (valid) best = std::max(best, size);
+  }
+  return best;
+}
+
+/// Exhaustive maximum |A|+|B| biclique for tiny graphs.
+std::uint32_t NaiveMvbTotal(const BipartiteGraph& g) {
+  const std::uint32_t nl = g.num_left();
+  std::uint32_t best = 0;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << nl); ++mask) {
+    std::vector<VertexId> a;
+    for (std::uint32_t l = 0; l < nl; ++l) {
+      if (mask >> l & 1) a.push_back(l);
+    }
+    std::uint32_t b = 0;
+    for (VertexId r = 0; r < g.num_right(); ++r) {
+      bool all = true;
+      for (const VertexId l : a) {
+        if (!g.HasEdge(l, r)) {
+          all = false;
+          break;
+        }
+      }
+      b += all ? 1 : 0;
+    }
+    best = std::max(best, static_cast<std::uint32_t>(a.size()) + b);
+  }
+  return best;
+}
+
+TEST(HopcroftKarp, EmptyAndEdgeless) {
+  EXPECT_EQ(HopcroftKarp(BipartiteGraph::FromEdges(0, 0, {})).size, 0u);
+  EXPECT_EQ(HopcroftKarp(BipartiteGraph::FromEdges(4, 4, {})).size, 0u);
+}
+
+TEST(HopcroftKarp, PerfectMatchingOnComplete) {
+  const BipartiteGraph g = testing::CompleteBipartite(5, 7);
+  const MaximumMatching m = HopcroftKarp(g);
+  EXPECT_EQ(m.size, 5u);
+  // Matching arrays are mutually consistent.
+  for (VertexId l = 0; l < 5; ++l) {
+    ASSERT_NE(m.match_of_left[l], MaximumMatching::kUnmatched);
+    EXPECT_EQ(m.match_of_right[m.match_of_left[l]], l);
+  }
+}
+
+TEST(HopcroftKarp, MatchedPairsAreEdges) {
+  const BipartiteGraph g = testing::RandomGraph(15, 15, 0.2, 3);
+  const MaximumMatching m = HopcroftKarp(g);
+  for (VertexId l = 0; l < g.num_left(); ++l) {
+    if (m.match_of_left[l] != MaximumMatching::kUnmatched) {
+      EXPECT_TRUE(g.HasEdge(l, m.match_of_left[l]));
+    }
+  }
+}
+
+class MatchingRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MatchingRandomTest, SizeMatchesNaive) {
+  const std::uint64_t seed = GetParam();
+  // Keep edge counts <= 16 so the exhaustive oracle stays cheap.
+  const BipartiteGraph g = testing::RandomGraph(5, 5, 0.3, seed);
+  if (g.num_edges() > 16) GTEST_SKIP();
+  const MaximumMatching m = HopcroftKarp(g);
+  EXPECT_EQ(m.size, NaiveMaxMatching(g));
+}
+
+TEST_P(MatchingRandomTest, KonigCoverIsValidAndTight) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g = testing::RandomGraph(10, 10, 0.25, seed + 50);
+  const MaximumMatching m = HopcroftKarp(g);
+  const VertexCover cover = KonigCover(g, m);
+  // König: |cover| equals the matching size.
+  EXPECT_EQ(cover.left.size() + cover.right.size(), m.size);
+  // Validity: every edge touches the cover.
+  std::vector<bool> in_left(g.num_left(), false);
+  for (const VertexId l : cover.left) in_left[l] = true;
+  std::vector<bool> in_right(g.num_right(), false);
+  for (const VertexId r : cover.right) in_right[r] = true;
+  for (const Edge& e : g.CollectEdges()) {
+    EXPECT_TRUE(in_left[e.first] || in_right[e.second])
+        << "uncovered edge " << e.first << "-" << e.second;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatchingRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+TEST(MaximumVertexBiclique, CompleteGraphTakesEverything) {
+  const BipartiteGraph g = testing::CompleteBipartite(4, 6);
+  const Biclique b = MaximumVertexBiclique(g);
+  EXPECT_EQ(b.TotalSize(), 10u);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(MaximumVertexBiclique, EdgelessGraphTakesOneSide) {
+  const BipartiteGraph g = BipartiteGraph::FromEdges(4, 6, {});
+  const Biclique b = MaximumVertexBiclique(g);
+  // (∅, R) or (L, ∅): the larger side alone.
+  EXPECT_EQ(b.TotalSize(), 6u);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+TEST(MaximumVertexBiclique, CrownGraph) {
+  // K(n,n) minus a perfect matching: MVB total = 2n - n = n (König).
+  const std::uint32_t n = 6;
+  std::vector<Edge> edges;
+  for (VertexId l = 0; l < n; ++l) {
+    for (VertexId r = 0; r < n; ++r) {
+      if (l != r) edges.emplace_back(l, r);
+    }
+  }
+  const BipartiteGraph g = BipartiteGraph::FromEdges(n, n, edges);
+  const Biclique b = MaximumVertexBiclique(g);
+  EXPECT_EQ(b.TotalSize(), n);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+}
+
+class MvbRandomTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MvbRandomTest, MatchesNaive) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g = testing::RandomGraph(
+      8, 10, 0.3 + 0.1 * static_cast<double>(seed % 5), seed);
+  const Biclique b = MaximumVertexBiclique(g);
+  EXPECT_TRUE(b.IsBicliqueIn(g));
+  EXPECT_EQ(b.TotalSize(), NaiveMvbTotal(g));
+}
+
+TEST_P(MvbRandomTest, UpperBoundsBalancedOptimum) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g = testing::RandomGraph(10, 10, 0.5, seed + 100);
+  EXPECT_GE(MvbBalancedUpperBound(g), BruteForceMbbSize(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MvbRandomTest,
+                         ::testing::Range<std::uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace mbb

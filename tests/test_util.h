@@ -1,0 +1,54 @@
+#ifndef MBB_TESTS_TEST_UTIL_H_
+#define MBB_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/dense_subgraph.h"
+#include "graph/generators.h"
+
+namespace mbb::testing {
+
+/// The sparse running example of the paper (Figure 1(b) / Table 2),
+/// reconstructed from the facts stated in the text: bicliques ({1,2},{7}),
+/// ({3,4,5},{9,10}); N2(2) = {1,3,6}; the core numbers of Table 2; the MBB
+/// ({3,4},{9,10}). Vertices 1..6 are left (ids 0..5), 7..12 right (0..5).
+inline BipartiteGraph PaperExampleGraph() {
+  // Edges (1-based, paper labels): 1-7, 2-7, 2-8, 3-8, 3-9, 3-10, 4-9,
+  // 4-10, 5-9, 5-10, 6-8, 6-11, 6-12.
+  std::vector<Edge> edges = {{0, 0}, {1, 0}, {1, 1}, {2, 1}, {2, 2},
+                             {2, 3}, {3, 2}, {3, 3}, {4, 2}, {4, 3},
+                             {5, 1}, {5, 4}, {5, 5}};
+  return BipartiteGraph::FromEdges(6, 6, std::move(edges));
+}
+
+/// Complete bipartite graph K(nl, nr).
+inline BipartiteGraph CompleteBipartite(std::uint32_t nl, std::uint32_t nr) {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(nl) * nr);
+  for (VertexId l = 0; l < nl; ++l) {
+    for (VertexId r = 0; r < nr; ++r) edges.emplace_back(l, r);
+  }
+  return BipartiteGraph::FromEdges(nl, nr, std::move(edges));
+}
+
+/// DenseSubgraph covering the whole graph (identity vertex lists).
+inline DenseSubgraph WholeGraphDense(const BipartiteGraph& g) {
+  std::vector<VertexId> left(g.num_left());
+  std::iota(left.begin(), left.end(), 0);
+  std::vector<VertexId> right(g.num_right());
+  std::iota(right.begin(), right.end(), 0);
+  return DenseSubgraph::Build(g, left, right);
+}
+
+/// Uniform random test graph.
+inline BipartiteGraph RandomGraph(std::uint32_t nl, std::uint32_t nr,
+                                  double density, std::uint64_t seed) {
+  return RandomUniform(nl, nr, density, seed);
+}
+
+}  // namespace mbb::testing
+
+#endif  // MBB_TESTS_TEST_UTIL_H_

@@ -1,0 +1,152 @@
+#include "order/vertex_centered.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/brute_force.h"
+#include "order/bicore_decomposition.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(VertexOrder, DegreeOrderIsNonIncreasing) {
+  const BipartiteGraph g = testing::RandomGraph(20, 20, 0.2, 1);
+  const VertexOrder order = ComputeVertexOrder(g, VertexOrderKind::kDegree);
+  for (std::size_t i = 1; i < order.order.size(); ++i) {
+    const std::uint32_t prev = order.order[i - 1];
+    const std::uint32_t cur = order.order[i];
+    EXPECT_GE(g.Degree(g.SideOf(prev), g.LocalId(prev)),
+              g.Degree(g.SideOf(cur), g.LocalId(cur)));
+  }
+}
+
+TEST(VertexOrder, RankIsInverseOfOrder) {
+  const BipartiteGraph g = testing::RandomGraph(15, 17, 0.25, 2);
+  for (const VertexOrderKind kind :
+       {VertexOrderKind::kDegree, VertexOrderKind::kDegeneracy,
+        VertexOrderKind::kBidegeneracy}) {
+    const VertexOrder order = ComputeVertexOrder(g, kind);
+    ASSERT_EQ(order.order.size(), g.NumVertices());
+    for (std::uint32_t i = 0; i < order.order.size(); ++i) {
+      EXPECT_EQ(order.rank[order.order[i]], i);
+    }
+  }
+}
+
+TEST(VertexOrder, ToStringNames) {
+  EXPECT_STREQ(ToString(VertexOrderKind::kDegree), "maxDeg");
+  EXPECT_STREQ(ToString(VertexOrderKind::kDegeneracy), "degeneracy");
+  EXPECT_STREQ(ToString(VertexOrderKind::kBidegeneracy), "bidegeneracy");
+}
+
+TEST(CenteredSubgraph, ContentsAreLaterN2) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  const VertexOrder order =
+      ComputeVertexOrder(g, VertexOrderKind::kBidegeneracy);
+  for (const std::uint32_t center : order.order) {
+    const CenteredSubgraph s = BuildCenteredSubgraph(g, order, center);
+    EXPECT_EQ(s.center_global, center);
+    EXPECT_EQ(s.center_side, g.SideOf(center));
+    ASSERT_FALSE(s.same_side.empty());
+    EXPECT_EQ(s.same_side.front(), g.LocalId(center));
+
+    const std::uint32_t center_rank = order.rank[center];
+    // All other members must be later in the order and within N≤2.
+    for (std::size_t i = 1; i < s.same_side.size(); ++i) {
+      const std::uint32_t global =
+          g.GlobalIndex(s.center_side, s.same_side[i]);
+      EXPECT_GT(order.rank[global], center_rank);
+    }
+    for (const VertexId v : s.other_side) {
+      const std::uint32_t global = g.GlobalIndex(Opposite(s.center_side), v);
+      EXPECT_GT(order.rank[global], center_rank);
+      // 1-hop members must be neighbours of the centre.
+      const auto nbrs = g.Neighbors(s.center_side, g.LocalId(center));
+      EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end());
+    }
+  }
+}
+
+TEST(CenteredSubgraph, NoDuplicateMembers) {
+  const BipartiteGraph g = testing::RandomGraph(25, 25, 0.2, 3);
+  const VertexOrder order = ComputeVertexOrder(g, VertexOrderKind::kDegree);
+  ForEachCenteredSubgraph(g, order, [](const CenteredSubgraph& s) {
+    std::set<VertexId> same(s.same_side.begin(), s.same_side.end());
+    EXPECT_EQ(same.size(), s.same_side.size());
+    std::set<VertexId> other(s.other_side.begin(), s.other_side.end());
+    EXPECT_EQ(other.size(), s.other_side.size());
+  });
+}
+
+/// Observation 4/5: the maximum balanced biclique survives inside the
+/// centred subgraph of its earliest vertex — verified end to end by
+/// searching all centred subgraphs with a brute-force oracle.
+class CenteredCoverageTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(CenteredCoverageTest, CenteredSubgraphsCoverOptimum) {
+  const std::uint64_t seed = GetParam();
+  const BipartiteGraph g =
+      testing::RandomGraph(10, 10, 0.35 + 0.05 * (seed % 5), seed);
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+  if (optimum == 0) return;
+
+  for (const VertexOrderKind kind :
+       {VertexOrderKind::kDegree, VertexOrderKind::kDegeneracy,
+        VertexOrderKind::kBidegeneracy}) {
+    const VertexOrder order = ComputeVertexOrder(g, kind);
+    std::uint32_t best = 0;
+    ForEachCenteredSubgraph(g, order, [&](const CenteredSubgraph& s) {
+      if (s.same_side.empty() || s.other_side.empty()) return;
+      const std::vector<VertexId>& left =
+          s.center_side == Side::kLeft ? s.same_side : s.other_side;
+      const std::vector<VertexId>& right =
+          s.center_side == Side::kLeft ? s.other_side : s.same_side;
+      const InducedSubgraph sub = g.Induce(left, right);
+      best = std::max(best, BruteForceMbbSize(sub.graph));
+    });
+    EXPECT_EQ(best, optimum) << "order " << ToString(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CenteredCoverageTest,
+                         ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(CenteredSubgraph, CountInducedEdgesMatchesInduce) {
+  const BipartiteGraph g = testing::RandomGraph(20, 20, 0.3, 4);
+  const std::vector<VertexId> left = {0, 3, 5, 7, 11};
+  const std::vector<VertexId> right = {1, 2, 8, 13};
+  const InducedSubgraph sub = g.Induce(left, right);
+  EXPECT_EQ(CountInducedEdges(g, left, right), sub.graph.num_edges());
+}
+
+TEST(CenteredSubgraph, StatsSanity) {
+  const BipartiteGraph g = testing::RandomGraph(30, 30, 0.15, 5);
+  const VertexOrder order =
+      ComputeVertexOrder(g, VertexOrderKind::kBidegeneracy);
+  const CenteredSubgraphStats stats = ComputeCenteredStats(g, order);
+  // Every vertex contributes at least itself.
+  EXPECT_GE(stats.total_vertices, g.NumVertices());
+  EXPECT_GE(stats.average_density, 0.0);
+  EXPECT_LE(stats.average_density, 1.0);
+  EXPECT_GT(stats.max_vertices, 0u);
+}
+
+TEST(CenteredSubgraph, BidegeneracySizeBound) {
+  // Lemma 8: with the bidegeneracy order every centred subgraph has at
+  // most δ̈ + 1 vertices.
+  const BipartiteGraph g = testing::RandomGraph(40, 40, 0.1, 6);
+  const VertexOrder order =
+      ComputeVertexOrder(g, VertexOrderKind::kBidegeneracy);
+  const std::uint32_t bidegeneracy = ComputeBicores(g).bidegeneracy;
+  ForEachCenteredSubgraph(g, order, [&](const CenteredSubgraph& s) {
+    EXPECT_LE(s.NumVertices(), bidegeneracy + 1);
+  });
+}
+
+}  // namespace
+}  // namespace mbb
