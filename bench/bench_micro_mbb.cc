@@ -2,8 +2,6 @@
 /// dense inputs, the denseMBB option ablations DESIGN.md calls out, the
 /// Algorithm 2 polynomial solver, and the sparse pipeline end to end.
 
-#include <numeric>
-
 #include <benchmark/benchmark.h>
 
 #include "baselines/ext_bbclq.h"
@@ -11,6 +9,7 @@
 #include "core/dense_mbb.h"
 #include "core/dynamic_mbb.h"
 #include "core/hbv_mbb.h"
+#include "engine/search_context.h"
 #include "graph/dense_subgraph.h"
 #include "graph/generators.h"
 
@@ -19,11 +18,7 @@ namespace {
 using namespace mbb;
 
 DenseSubgraph WholeDense(const BipartiteGraph& g) {
-  std::vector<VertexId> left(g.num_left());
-  std::iota(left.begin(), left.end(), 0);
-  std::vector<VertexId> right(g.num_right());
-  std::iota(right.begin(), right.end(), 0);
-  return DenseSubgraph::Build(g, left, right);
+  return DenseSubgraph::Whole(g);
 }
 
 void BM_DenseMbb(benchmark::State& state) {
@@ -41,6 +36,22 @@ BENCHMARK(BM_DenseMbb)
     ->Args({24, 90})
     ->Args({48, 90})
     ->Args({64, 90});
+
+/// Same workload as BM_DenseMbb but reusing one SearchContext across
+/// solves — the pooled-arena pattern of the sparse pipeline and the engine
+/// adapters. The gap against BM_DenseMbb is the pooling win.
+void BM_DenseMbbPooledContext(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  const double density = static_cast<double>(state.range(1)) / 100.0;
+  const BipartiteGraph g = RandomUniform(n, n, density, 7);
+  const DenseSubgraph s = WholeDense(g);
+  SearchContext ctx;
+  for (auto _ : state) {
+    MbbResult result = DenseMbbSolve(s, {}, 0, &ctx);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_DenseMbbPooledContext)->Args({24, 80})->Args({24, 90});
 
 void BM_BasicBb(benchmark::State& state) {
   const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));

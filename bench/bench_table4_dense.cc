@@ -7,27 +7,15 @@
 
 #include <cstdio>
 #include <iostream>
-#include <numeric>
 #include <vector>
 
-#include "baselines/ext_bbclq.h"
-#include "core/dense_mbb.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
-#include "graph/dense_subgraph.h"
 #include "graph/generators.h"
 
 namespace {
 
 using namespace mbb;
-
-DenseSubgraph WholeDense(const BipartiteGraph& g) {
-  std::vector<VertexId> left(g.num_left());
-  std::iota(left.begin(), left.end(), 0);
-  std::vector<VertexId> right(g.num_right());
-  std::iota(right.begin(), right.end(), 0);
-  return DenseSubgraph::Build(g, left, right);
-}
 
 struct CellResult {
   double seconds = 0.0;
@@ -35,9 +23,9 @@ struct CellResult {
 };
 
 /// Average over instances; any timeout marks the cell '-' like the paper.
-template <typename SolveFn>
-CellResult RunCell(std::uint32_t n, double density, int instances,
-                   double timeout, const SolveFn& solve) {
+/// `solver` is a registry name.
+CellResult RunCell(std::string_view solver, std::uint32_t n, double density,
+                   int instances, double timeout) {
   CellResult cell;
   double total = 0.0;
   for (int i = 0; i < instances; ++i) {
@@ -45,8 +33,7 @@ CellResult RunCell(std::uint32_t n, double density, int instances,
         RandomUniform(n, n, density, 1000 * n + 10 * i +
                                          static_cast<std::uint64_t>(
                                              density * 100));
-    const TimedRun run = RunWithTimeout(
-        timeout, [&](SearchLimits limits) { return solve(g, limits); });
+    const TimedRun run = RunSolver(solver, g, timeout);
     if (run.timed_out) {
       cell.timed_out = true;
       return cell;
@@ -86,20 +73,12 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {
         std::to_string(static_cast<int>(density * 100)) + "%"};
     for (const std::uint32_t n : sizes) {
-      const CellResult ext = RunCell(
-          n, density, instances, timeout,
-          [](const BipartiteGraph& g, SearchLimits limits) {
-            return ExtBbclqSolve(g, limits);
-          });
+      const CellResult ext =
+          RunCell("extbbclq", n, density, instances, timeout);
       row.push_back(FormatSeconds(ext.seconds, ext.timed_out));
 
-      const CellResult dense = RunCell(
-          n, density, instances, timeout,
-          [](const BipartiteGraph& g, SearchLimits limits) {
-            DenseMbbOptions options;
-            options.limits = limits;
-            return DenseMbbSolve(WholeDense(g), options);
-          });
+      const CellResult dense =
+          RunCell("dense", n, density, instances, timeout);
       row.push_back(FormatSeconds(dense.seconds, dense.timed_out));
     }
     table.AddRow(std::move(row));

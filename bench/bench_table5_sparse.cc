@@ -11,9 +11,6 @@
 #include <sstream>
 #include <string>
 
-#include "baselines/adapted.h"
-#include "baselines/ext_bbclq.h"
-#include "core/hbv_mbb.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
 #include "graph/datasets.h"
@@ -54,30 +51,17 @@ int main(int argc, char** argv) {
                                     DensityString(g.Density())};
 
     // hbvMBB first: it provides the optimum column.
-    const TimedRun hbv =
-        RunWithTimeout(timeout, [&](SearchLimits limits) {
-          HbvOptions options;
-          options.limits = limits;
-          return HbvMbb(g, options);
-        });
+    const TimedRun hbv = RunSolver("hbv", g, timeout);
     row.push_back(hbv.timed_out
                       ? "?"
                       : std::to_string(hbv.result.best.BalancedSize()));
 
-    const AdpVariant variants[] = {AdpVariant::kAdp1, AdpVariant::kAdp2,
-                                   AdpVariant::kAdp3, AdpVariant::kAdp4};
-    for (const AdpVariant variant : variants) {
-      const TimedRun run =
-          RunWithTimeout(timeout, [&](SearchLimits limits) {
-            return AdpSolve(g, variant, limits);
-          });
+    for (const char* variant : {"adp1", "adp2", "adp3", "adp4"}) {
+      const TimedRun run = RunSolver(variant, g, timeout);
       row.push_back(FormatSeconds(run.seconds, run.timed_out));
     }
 
-    const TimedRun ext =
-        RunWithTimeout(timeout, [&](SearchLimits limits) {
-          return ExtBbclqSolve(g, limits);
-        });
+    const TimedRun ext = RunSolver("extbbclq", g, timeout);
     row.push_back(FormatSeconds(ext.seconds, ext.timed_out));
 
     row.push_back(FormatSeconds(hbv.seconds, hbv.timed_out));

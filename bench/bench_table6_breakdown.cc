@@ -6,7 +6,6 @@
 #include <iostream>
 
 #include "core/heuristic_mbb.h"
-#include "core/hbv_mbb.h"
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
 #include "graph/datasets.h"
@@ -19,13 +18,10 @@ using namespace mbb;
 
 constexpr double kDefaultScale = 0.03;
 
-std::string TimeVariant(const BipartiteGraph& g, const HbvOptions& base,
+/// `variant` is a registry name (`bd1`..`bd5`, `hbv`).
+std::string TimeVariant(const BipartiteGraph& g, std::string_view variant,
                         double timeout) {
-  const TimedRun run = RunWithTimeout(timeout, [&](SearchLimits limits) {
-    HbvOptions options = base;
-    options.limits = limits;
-    return HbvMbb(g, options);
-  });
+  const TimedRun run = RunSolver(variant, g, timeout);
   return FormatSeconds(run.seconds, run.timed_out);
 }
 
@@ -65,12 +61,9 @@ int main(int argc, char** argv) {
       row.push_back(FormatSeconds(timer.Seconds()));
     }
 
-    row.push_back(TimeVariant(g, HbvOptions::Bd1(), timeout));
-    row.push_back(TimeVariant(g, HbvOptions::Bd2(), timeout));
-    row.push_back(TimeVariant(g, HbvOptions::Bd3(), timeout));
-    row.push_back(TimeVariant(g, HbvOptions::Bd4(), timeout));
-    row.push_back(TimeVariant(g, HbvOptions::Bd5(), timeout));
-    row.push_back(TimeVariant(g, HbvOptions{}, timeout));
+    for (const char* variant : {"bd1", "bd2", "bd3", "bd4", "bd5", "hbv"}) {
+      row.push_back(TimeVariant(g, variant, timeout));
+    }
 
     table.AddRow(std::move(row));
     std::cerr << "  [table6] " << spec.name << " done\n";

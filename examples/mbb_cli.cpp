@@ -1,15 +1,18 @@
 /// Command-line front end for the library: load or generate a bipartite
-/// graph, run any of the implemented algorithms, print the result and the
-/// search statistics.
+/// graph, run any algorithm in the solver registry, print the result and
+/// the search statistics.
 ///
-///   mbb_cli --random 200 200 0.02 7 --algorithm hbv --stats
-///   mbb_cli --input graph.txt --algorithm dense --timeout 30
-///   mbb_cli --dataset github --scale 0.1 --algorithm adp3
-///   mbb_cli --random 32 32 0.9 1 --algorithm mvb
+///   mbb_cli --random 200 200 0.02 7 --algo hbv --stats
+///   mbb_cli --input graph.txt --algo dense --timeout 30
+///   mbb_cli --dataset github --scale 0.1 --algo adp3
+///   mbb_cli --random 32 32 0.9 1 --algo mvb
+///
+/// Every solver is selected by its registry name (`--list-algos` prints
+/// them); the only algorithm outside the registry is `mvb`, the
+/// maximum *vertex* biclique relaxation, which solves a different
+/// objective and is kept as a CLI special case.
 
-#include <cstring>
 #include <iostream>
-#include <numeric>
 #include <string>
 
 #include "eval/experiment.h"
@@ -28,75 +31,31 @@ void Usage() {
       "  --dataset NAME              Table-5 surrogate (see --list)\n"
       "options:\n"
       "  --scale X                   surrogate scale factor (default 0.05)\n"
-      "  --algorithm NAME            auto|dense|hbv|bd1..bd5|basic|extbbcl|\n"
-      "                              imbea|fmbe|adp1..adp4|pols|sbmnas|mvb\n"
+      "  --algo NAME                 registry solver (see --list-algos),\n"
+      "                              or mvb; default auto\n"
+      "  --algorithm NAME            alias for --algo\n"
       "  --timeout SEC               deadline (default 60)\n"
       "  --stats                     print search statistics\n"
-      "  --list                      list dataset names and exit\n";
+      "  --list                      list dataset names and exit\n"
+      "  --list-algos                list registered solvers and exit\n";
 }
 
-DenseSubgraph WholeDense(const BipartiteGraph& g) {
-  std::vector<VertexId> left(g.num_left());
-  std::iota(left.begin(), left.end(), 0);
-  std::vector<VertexId> right(g.num_right());
-  std::iota(right.begin(), right.end(), 0);
-  return DenseSubgraph::Build(g, left, right);
+/// Old CLI spellings that predate the registry keys.
+std::string CanonicalAlgoName(std::string name) {
+  if (name == "extbbcl") return "extbbclq";
+  if (name == "adp") return "adapted";
+  return name;
 }
 
 MbbResult Solve(const std::string& algorithm, const BipartiteGraph& g,
-                SearchLimits limits) {
-  if (algorithm == "auto") {
-    HbvOptions options;
-    options.limits = limits;
-    return FindMaximumBalancedBiclique(g, options);
-  }
-  if (algorithm == "dense") {
-    DenseMbbOptions options;
-    options.limits = limits;
-    return DenseMbbSolve(WholeDense(g), options);
-  }
-  if (algorithm == "basic") {
-    return BasicBbSolve(WholeDense(g), limits);
-  }
-  if (algorithm == "hbv" || algorithm.rfind("bd", 0) == 0) {
-    HbvOptions options;
-    if (algorithm == "bd1") options = HbvOptions::Bd1();
-    if (algorithm == "bd2") options = HbvOptions::Bd2();
-    if (algorithm == "bd3") options = HbvOptions::Bd3();
-    if (algorithm == "bd4") options = HbvOptions::Bd4();
-    if (algorithm == "bd5") options = HbvOptions::Bd5();
-    options.limits = limits;
-    return HbvMbb(g, options);
-  }
-  if (algorithm == "extbbcl") return ExtBbclqSolve(g, limits);
-  if (algorithm == "imbea") return ImbeaSolve(g, limits);
-  if (algorithm == "fmbe") return FmbeSolve(g, limits);
-  if (algorithm.rfind("adp", 0) == 0) {
-    const int index = algorithm.back() - '1';
-    return AdpSolve(g, static_cast<AdpVariant>(index), limits);
-  }
-  if (algorithm == "pols") {
-    PolsOptions options;
-    options.limits = limits;
-    MbbResult r;
-    r.best = PolsSolve(g, options);
-    r.exact = false;
-    return r;
-  }
-  if (algorithm == "sbmnas") {
-    SbmnasOptions options;
-    options.limits = limits;
-    MbbResult r;
-    r.best = SbmnasSolve(g, options);
-    r.exact = false;
-    return r;
-  }
+                double timeout) {
   if (algorithm == "mvb") {
     MbbResult r;
     r.best = MaximumVertexBiclique(g);
     return r;
   }
-  throw std::runtime_error("unknown algorithm: " + algorithm);
+  SolverOptions options = SolverOptions::WithTimeout(timeout);
+  return SolverRegistry::Solve(algorithm, g, options);
 }
 
 }  // namespace
@@ -115,23 +74,45 @@ int main(int argc, char** argv) {
   bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--input" && i + 1 < argc) {
-      input_file = argv[++i];
+    std::string arg = argv[i];
+    // Accept --flag=value spellings for the value-carrying flags.
+    bool has_inline = false;
+    std::string inline_value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos && arg.rfind("--", 0) == 0) {
+      has_inline = true;
+      inline_value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    // A missing or empty value is a usage error, not a crash in stod.
+    bool missing_value = false;
+    const auto next_value = [&]() -> std::string {
+      if (has_inline) {
+        if (inline_value.empty()) missing_value = true;
+        return inline_value;
+      }
+      if (i + 1 < argc) return std::string(argv[++i]);
+      missing_value = true;
+      return {};
+    };
+    if (arg == "--input") {
+      input_file = next_value();
     } else if (arg == "--random" && i + 4 < argc) {
       random = true;
       nl = static_cast<std::uint32_t>(std::stoul(argv[++i]));
       nr = static_cast<std::uint32_t>(std::stoul(argv[++i]));
       density = std::stod(argv[++i]);
       seed = std::stoull(argv[++i]);
-    } else if (arg == "--dataset" && i + 1 < argc) {
-      dataset = argv[++i];
-    } else if (arg == "--scale" && i + 1 < argc) {
-      scale = std::stod(argv[++i]);
-    } else if (arg == "--algorithm" && i + 1 < argc) {
-      algorithm = argv[++i];
-    } else if (arg == "--timeout" && i + 1 < argc) {
-      timeout = std::stod(argv[++i]);
+    } else if (arg == "--dataset") {
+      dataset = next_value();
+    } else if (arg == "--scale") {
+      const std::string value = next_value();
+      if (!missing_value) scale = std::stod(value);
+    } else if (arg == "--algo" || arg == "--algorithm") {
+      algorithm = CanonicalAlgoName(next_value());
+    } else if (arg == "--timeout") {
+      const std::string value = next_value();
+      if (!missing_value) timeout = std::stod(value);
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--list") {
@@ -141,10 +122,29 @@ int main(int argc, char** argv) {
                   << (spec.tough ? "  (tough)" : "") << "\n";
       }
       return 0;
+    } else if (arg == "--list-algos") {
+      for (const std::string& name : SolverRegistry::Instance().Names()) {
+        const MbbSolver& solver = SolverRegistry::Instance().Get(name);
+        std::cout << name << (solver.IsExact() ? "" : "  (heuristic)")
+                  << "\n";
+      }
+      std::cout << "mvb  (vertex-biclique relaxation)\n";
+      return 0;
     } else {
       Usage();
       return arg == "--help" ? 0 : 1;
     }
+    if (missing_value) {
+      std::cerr << "missing value for " << arg << "\n\n";
+      Usage();
+      return 1;
+    }
+  }
+
+  if (algorithm != "mvb" && !SolverRegistry::Instance().Contains(algorithm)) {
+    std::cerr << "unknown algorithm '" << algorithm
+              << "' (see --list-algos)\n";
+    return 1;
   }
 
   BipartiteGraph g;
@@ -169,8 +169,7 @@ int main(int argc, char** argv) {
             << "\n";
 
   WallTimer timer;
-  const MbbResult result =
-      Solve(algorithm, g, SearchLimits::FromSeconds(timeout));
+  const MbbResult result = Solve(algorithm, g, timeout);
   const double seconds = timer.Seconds();
 
   std::cout << "algorithm: " << algorithm << "\n"

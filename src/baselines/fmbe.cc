@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/basic_bb.h"
+#include "engine/search_context.h"
 #include "graph/dense_subgraph.h"
 #include "order/vertex_centered.h"
 
@@ -16,6 +17,7 @@ MbbResult FmbeSolve(const BipartiteGraph& g, const SearchLimits& limits,
 
   const VertexOrder order = ComputeVertexOrder(g, VertexOrderKind::kDegree);
   CenteredWorkspace workspace;
+  SearchContext ctx;  // one pooled arena across all per-scope searches
   for (const std::uint32_t center : order.order) {
     const CenteredSubgraph s =
         BuildCenteredSubgraph(g, order, center, workspace);
@@ -28,7 +30,7 @@ MbbResult FmbeSolve(const BipartiteGraph& g, const SearchLimits& limits,
         g, s.same_side, s.other_side, s.center_side);
     ++out.stats.subgraphs_searched;
     MbbResult scoped =
-        BasicBbSolveAnchored(dense, /*anchor=*/0, limits, best_size);
+        BasicBbSolveAnchored(dense, /*anchor=*/0, limits, best_size, &ctx);
     out.stats.Merge(scoped.stats);
     if (!scoped.exact) {
       out.exact = false;

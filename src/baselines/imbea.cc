@@ -135,13 +135,7 @@ class ImbeaSearcher {
   }
 
   bool LimitFired() {
-    if (limits_.max_recursions != 0 &&
-        stats_.recursions > limits_.max_recursions) {
-      stats_.timed_out = true;
-      return true;
-    }
-    if (limits_.has_deadline && (stats_.recursions & 511) == 1 &&
-        limits_.DeadlinePassed()) {
+    if (limits_.ShouldStop(stats_.recursions)) {
       stats_.timed_out = true;
       return true;
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "engine/search_context.h"
+
 namespace mbb {
 
 namespace {
@@ -13,14 +15,14 @@ namespace {
 class BasicBbSearcher {
  public:
   BasicBbSearcher(const DenseSubgraph& g, const SearchLimits& limits,
-                  std::uint32_t initial_best)
-      : g_(g), limits_(limits), best_size_(initial_best) {}
+                  std::uint32_t initial_best, SearchContext& context)
+      : g_(g), limits_(limits), best_size_(initial_best), ctx_(context) {}
 
-  MbbResult Run(std::vector<VertexId> a, std::vector<VertexId> b, Bitset ca,
-                Bitset cb, bool a_is_left) {
+  MbbResult Run(std::vector<VertexId> a, std::vector<VertexId> b,
+                SearchContext::BranchFrame& root, bool a_is_left) {
     a_ = std::move(a);
     b_ = std::move(b);
-    Rec(std::move(ca), std::move(cb), a_is_left, 0);
+    Rec(root.ca, root.cb, a_is_left, /*depth=*/0, /*level=*/0);
     MbbResult out;
     out.best = std::move(best_);
     out.best.MakeBalanced();
@@ -30,53 +32,64 @@ class BasicBbSearcher {
   }
 
  private:
-  // Returns true when the search must abort (limit fired).
-  bool Rec(Bitset ca, Bitset cb, bool a_is_left, std::uint32_t depth) {
-    ++stats_.recursions;
-    stats_.depth_sum += depth;
-    stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, depth);
-    if (LimitFired()) return true;
+  // Returns true when the search must abort (limit fired). `ca`/`cb`
+  // alias the pooled frame for `level`; the exclusion branch (line 8) is
+  // the tail loop, so only inclusions recurse — and they draw the child's
+  // candidate sets from the next pooled frame instead of allocating.
+  bool Rec(Bitset& ca, Bitset& cb, bool a_is_left, std::uint32_t depth,
+           std::size_t level) {
+    while (true) {
+      ++stats_.recursions;
+      stats_.depth_sum += depth;
+      stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, depth);
+      if (LimitFired()) return true;
 
-    // Bounding (line 1).
-    const std::uint32_t ub = static_cast<std::uint32_t>(
-        std::min(a_.size() + ca.Count(), b_.size() + cb.Count()));
-    if (ub <= best_size_) {
-      ++stats_.bound_prunes;
-      return false;
-    }
-
-    // Maximality check (lines 2-5): the expanded role has no candidates
-    // left. By the alternation invariant |b_| >= |a_|, so min(...) == |a_|.
-    const int u = ca.FindFirst();
-    if (u < 0) {
-      ++stats_.leaves;
-      const std::uint32_t size = static_cast<std::uint32_t>(
-          std::min(a_.size(), b_.size()));
-      if (size > best_size_) {
-        best_size_ = size;
-        best_ = MakeBiclique(a_is_left);
+      // Bounding (line 1).
+      const std::uint32_t ub = static_cast<std::uint32_t>(
+          std::min(a_.size() + ca.Count(), b_.size() + cb.Count()));
+      if (ub <= best_size_) {
+        ++stats_.bound_prunes;
+        return false;
       }
-      return false;
-    }
 
-    // Branch 1 (line 7): include u, swap roles.
-    {
-      Bitset next_ca = cb & g_.Row(a_is_left ? Side::kLeft : Side::kRight,
-                                   static_cast<VertexId>(u));
-      Bitset next_cb = ca;
-      next_cb.Reset(static_cast<std::size_t>(u));
-      a_.push_back(static_cast<VertexId>(u));
-      std::swap(a_, b_);
-      if (Rec(std::move(next_ca), std::move(next_cb), !a_is_left, depth + 1)) {
-        return true;
+      // Maximality check (lines 2-5): the expanded role has no candidates
+      // left. By the alternation invariant |b_| >= |a_|, so min(...) ==
+      // |a_|.
+      const int u = ca.FindFirst();
+      if (u < 0) {
+        ++stats_.leaves;
+        const std::uint32_t size = static_cast<std::uint32_t>(
+            std::min(a_.size(), b_.size()));
+        if (size > best_size_) {
+          best_size_ = size;
+          best_ = MakeBiclique(a_is_left);
+        }
+        return false;
       }
-      std::swap(a_, b_);
-      a_.pop_back();
-    }
 
-    // Branch 2 (line 8): exclude u, keep roles.
-    ca.Reset(static_cast<std::size_t>(u));
-    return Rec(std::move(ca), std::move(cb), a_is_left, depth + 1);
+      // Branch 1 (line 7): include u, swap roles. The swapped candidate
+      // sets are built in the child's pooled frame (word copies into
+      // retained capacity).
+      {
+        SearchContext::BranchFrame& child = ctx_.Frame(level + 1);
+        child.ca = cb;
+        child.ca &= g_.Row(a_is_left ? Side::kLeft : Side::kRight,
+                           static_cast<VertexId>(u));
+        child.cb = ca;
+        child.cb.Reset(static_cast<std::size_t>(u));
+        a_.push_back(static_cast<VertexId>(u));
+        std::swap(a_, b_);
+        if (Rec(child.ca, child.cb, !a_is_left, depth + 1, level + 1)) {
+          return true;
+        }
+        std::swap(a_, b_);
+        a_.pop_back();
+      }
+
+      // Branch 2 (line 8): exclude u, keep roles — continue in this frame.
+      ca.Reset(static_cast<std::size_t>(u));
+      ++depth;
+    }
   }
 
   Biclique MakeBiclique(bool a_is_left) const {
@@ -87,13 +100,7 @@ class BasicBbSearcher {
   }
 
   bool LimitFired() {
-    if (limits_.max_recursions != 0 &&
-        stats_.recursions > limits_.max_recursions) {
-      stats_.timed_out = true;
-      return true;
-    }
-    if (limits_.has_deadline && (stats_.recursions & 1023) == 1 &&
-        limits_.DeadlinePassed()) {
+    if (limits_.ShouldStop(stats_.recursions)) {
       stats_.timed_out = true;
       return true;
     }
@@ -103,6 +110,7 @@ class BasicBbSearcher {
   const DenseSubgraph& g_;
   const SearchLimits& limits_;
   std::uint32_t best_size_;
+  SearchContext& ctx_;
   std::vector<VertexId> a_;
   std::vector<VertexId> b_;
   Biclique best_;
@@ -112,29 +120,34 @@ class BasicBbSearcher {
 }  // namespace
 
 MbbResult BasicBbSolve(const DenseSubgraph& g, const SearchLimits& limits,
-                       std::uint32_t initial_best) {
-  BasicBbSearcher searcher(g, limits, initial_best);
-  Bitset ca(g.num_left());
-  ca.SetAll();
-  Bitset cb(g.num_right());
-  cb.SetAll();
-  return searcher.Run({}, {}, std::move(ca), std::move(cb),
-                      /*a_is_left=*/true);
+                       std::uint32_t initial_best, SearchContext* context) {
+  SearchContext transient;
+  SearchContext& ctx = context != nullptr ? *context : transient;
+  BasicBbSearcher searcher(g, limits, initial_best, ctx);
+  SearchContext::BranchFrame& root = ctx.Frame(0);
+  root.ca.Resize(g.num_left());
+  root.ca.SetAll();
+  root.cb.Resize(g.num_right());
+  root.cb.SetAll();
+  return searcher.Run({}, {}, root, /*a_is_left=*/true);
 }
 
 MbbResult BasicBbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
                                const SearchLimits& limits,
-                               std::uint32_t initial_best) {
-  BasicBbSearcher searcher(g, limits, initial_best);
+                               std::uint32_t initial_best,
+                               SearchContext* context) {
+  SearchContext transient;
+  SearchContext& ctx = context != nullptr ? *context : transient;
+  BasicBbSearcher searcher(g, limits, initial_best, ctx);
   // State after "including" the anchor: the roles have swapped, so the
   // expanding a-role is now the right side with candidates N(anchor), and
   // the b-role is the left side holding the anchor.
-  Bitset ca = g.LeftRow(anchor);
-  Bitset cb(g.num_left());
-  cb.SetAll();
-  cb.Reset(anchor);
-  return searcher.Run({}, {anchor}, std::move(ca), std::move(cb),
-                      /*a_is_left=*/false);
+  SearchContext::BranchFrame& root = ctx.Frame(0);
+  root.ca = g.LeftRow(anchor);
+  root.cb.Resize(g.num_left());
+  root.cb.SetAll();
+  root.cb.Reset(anchor);
+  return searcher.Run({}, {anchor}, root, /*a_is_left=*/false);
 }
 
 }  // namespace mbb

@@ -6,6 +6,8 @@
 
 namespace mbb {
 
+class SearchContext;
+
 /// The paper's Algorithm 1 (`basicBB`): the plain alternating
 /// branch-and-bound enumeration with only the simple size bound
 /// `2 * min(|A|+|CA|, |B|+|CB|) <= |A*|+|B*|`.
@@ -19,16 +21,21 @@ namespace mbb {
 /// `initial_best` is a balanced-size lower bound: only strictly larger
 /// bicliques are reported (`best` stays empty when nothing beats it).
 /// The result is expressed in the subgraph's local ids.
+/// `context` pools the per-recursion-level candidate bitsets; pass one
+/// shared `SearchContext` when solving many subgraphs in a row, or nullptr
+/// for a transient one.
 MbbResult BasicBbSolve(const DenseSubgraph& g,
                        const SearchLimits& limits = {},
-                       std::uint32_t initial_best = 0);
+                       std::uint32_t initial_best = 0,
+                       SearchContext* context = nullptr);
 
 /// Anchored variant: left-local vertex `anchor` is fixed into `A`, so only
 /// bicliques containing it are enumerated. Used when searching a
 /// vertex-centred subgraph whose centre must participate.
 MbbResult BasicBbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
                                const SearchLimits& limits = {},
-                               std::uint32_t initial_best = 0);
+                               std::uint32_t initial_best = 0,
+                               SearchContext* context = nullptr);
 
 }  // namespace mbb
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "engine/search_context.h"
 #include "order/core_decomposition.h"
 
 namespace mbb {
@@ -26,7 +27,10 @@ SideLists Split(const CenteredSubgraph& s) {
 
 BridgeOutcome BridgeMbb(const BipartiteGraph& reduced,
                         std::uint32_t initial_best_size,
-                        const BridgeOptions& options) {
+                        const BridgeOptions& options,
+                        SearchContext* context) {
+  SearchContext transient;
+  SearchContext& ctx = context != nullptr ? *context : transient;
   BridgeOutcome out;
   out.best_size = initial_best_size;
   out.stats.terminated_step = 2;
@@ -71,8 +75,8 @@ BridgeOutcome BridgeMbb(const BipartiteGraph& reduced,
     // Lines 11-13: local heuristic on H. Any biclique of H is a biclique of
     // the reduced graph, so improvements are global.
     if (options.use_local_heuristic) {
-      const std::vector<std::uint32_t> scores =
-          DegreeScores(induced.graph);
+      std::vector<std::uint32_t>& scores = ctx.ScoreScratch();
+      DegreeScoresInto(induced.graph, scores);
       Biclique local = GreedyMbb(induced.graph, scores, options.greedy);
       if (local.BalancedSize() > out.best_size) {
         out.best_size = local.BalancedSize();

@@ -11,6 +11,8 @@
 
 namespace mbb {
 
+class SearchContext;
+
 /// Configuration of the paper's Algorithm 6 (`bridgeMBB`, step 2 of the
 /// sparse framework).
 struct BridgeOptions {
@@ -45,10 +47,12 @@ struct BridgeOutcome {
 /// streams all vertex-centred subgraphs, prunes by size / degeneracy
 /// against the incumbent, refines the incumbent with a local greedy, and
 /// returns the surviving subgraphs (re-filtered against the final
-/// incumbent).
+/// incumbent). `context` pools the per-subgraph score scratch; pass the
+/// pipeline's shared `SearchContext` or nullptr for a transient one.
 BridgeOutcome BridgeMbb(const BipartiteGraph& reduced,
                         std::uint32_t initial_best_size,
-                        const BridgeOptions& options = {});
+                        const BridgeOptions& options = {},
+                        SearchContext* context = nullptr);
 
 }  // namespace mbb
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/dynamic_mbb.h"
+#include "engine/search_context.h"
 
 namespace mbb {
 
@@ -25,14 +26,16 @@ class SizeGuard {
 class DenseMbbSearcher {
  public:
   DenseMbbSearcher(const DenseSubgraph& g, const DenseMbbOptions& options,
-                   std::uint32_t initial_best)
-      : g_(g), options_(options), best_size_(initial_best) {}
+                   std::uint32_t initial_best, SearchContext& context)
+      : g_(g), options_(options), best_size_(initial_best), ctx_(context) {}
 
-  MbbResult Run(std::vector<VertexId> a, std::vector<VertexId> b, Bitset ca,
-                Bitset cb) {
+  /// `root` holds the initial candidate sets; deeper levels draw their
+  /// scratch from the pooled context instead of allocating per branch.
+  MbbResult Run(std::vector<VertexId> a, std::vector<VertexId> b,
+                SearchContext::BranchFrame& root) {
     a_ = std::move(a);
     b_ = std::move(b);
-    Rec(std::move(ca), std::move(cb), 0);
+    Rec(root.ca, root.cb, /*depth=*/0, /*level=*/0);
     MbbResult out;
     out.best = std::move(best_);
     out.best.MakeBalanced();
@@ -43,8 +46,11 @@ class DenseMbbSearcher {
 
  private:
   // Returns true when the search must abort (limit fired). The exclusion
-  // branch is a tail loop so stack depth only grows on inclusions.
-  bool Rec(Bitset ca, Bitset cb, std::uint32_t depth) {
+  // branch is a tail loop so stack depth only grows on inclusions. `ca`
+  // and `cb` alias this level's pooled frame and are mutated in place;
+  // `level` is the recursion nesting level (± the tail loop, so it lags
+  // `depth`), which indexes the context's frame pool.
+  bool Rec(Bitset& ca, Bitset& cb, std::uint32_t depth, std::size_t level) {
     SizeGuard guard_a(a_);
     SizeGuard guard_b(b_);
 
@@ -202,12 +208,16 @@ class DenseMbbSearcher {
       // the most missing neighbours makes the candidate subgraph denser, so
       // this branch converges to the polynomial case fast and returns with
       // a near-optimal incumbent that then prunes the inclusion branch.
+      // The child's candidate sets live in the next pooled frame — the
+      // assignments below are word copies into retained capacity, not
+      // fresh allocations.
       {
-        Bitset next_ca = ca;
-        Bitset next_cb = cb;
-        (branch_side == Side::kLeft ? next_ca : next_cb)
+        SearchContext::BranchFrame& child = ctx_.Frame(level + 1);
+        child.ca = ca;
+        child.cb = cb;
+        (branch_side == Side::kLeft ? child.ca : child.cb)
             .Reset(branch_vertex);
-        if (Rec(std::move(next_ca), std::move(next_cb), depth + 1)) {
+        if (Rec(child.ca, child.cb, depth + 1, level + 1)) {
           return true;
         }
       }
@@ -247,13 +257,7 @@ class DenseMbbSearcher {
   }
 
   bool LimitFired() {
-    if (options_.limits.max_recursions != 0 &&
-        stats_.recursions > options_.limits.max_recursions) {
-      stats_.timed_out = true;
-      return true;
-    }
-    if (options_.limits.has_deadline && (stats_.recursions & 1023) == 1 &&
-        options_.limits.DeadlinePassed()) {
+    if (options_.limits.ShouldStop(stats_.recursions)) {
       stats_.timed_out = true;
       return true;
     }
@@ -263,46 +267,50 @@ class DenseMbbSearcher {
   /// Maximum matching of the bipartite complement restricted to the
   /// candidate sets, via Kuhn's augmenting paths. Only vertices that miss
   /// at least one cross neighbour participate. Stops as soon as `target`
-  /// edges are matched (the caller only cares whether ν >= target).
+  /// edges are matched (the caller only cares whether ν >= target). All
+  /// working memory comes from the context's pooled matching scratch.
   std::uint32_t ComplementMatching(const Bitset& ca, const Bitset& cb,
                                    std::uint32_t target) {
-    if (match_of_right_.size() < g_.num_right()) {
-      match_of_right_.assign(g_.num_right(), -1);
-      kuhn_seen_.assign(g_.num_right(), 0);
+    SearchContext::MatchingScratch& m = ctx_.matching();
+    if (m.match_of_right.size() < g_.num_right()) {
+      m.match_of_right.assign(g_.num_right(), -1);
+      m.seen.assign(g_.num_right(), 0);
     }
-    comp_left_.clear();
-    comp_adj_.clear();
+    m.BeginRound();
     for (int u = ca.FindFirst(); u >= 0; u = ca.FindNext(u)) {
-      const Bitset missing =
-          Bitset::AndNot(cb, g_.LeftRow(static_cast<VertexId>(u)));
-      if (missing.None()) continue;
-      comp_left_.push_back(static_cast<VertexId>(u));
-      comp_adj_.emplace_back(missing.ToVector());
+      m.missing = cb;
+      m.missing.AndNotAssign(g_.LeftRow(static_cast<VertexId>(u)));
+      if (m.missing.None()) continue;
+      m.left.push_back(static_cast<VertexId>(u));
+      std::vector<std::uint32_t>& row = m.NextRow();
+      m.missing.ForEach([&row](std::size_t v) {
+        row.push_back(static_cast<std::uint32_t>(v));
+      });
     }
 
     std::uint32_t matched = 0;
-    touched_right_.clear();
-    for (std::size_t i = 0; i < comp_left_.size() && matched < target; ++i) {
-      ++kuhn_round_;
-      if (TryAugment(i)) ++matched;
+    m.touched_right.clear();
+    for (std::size_t i = 0; i < m.left.size() && matched < target; ++i) {
+      ++m.round;
+      if (TryAugment(m, i)) ++matched;
     }
-    for (const VertexId v : touched_right_) match_of_right_[v] = -1;
+    for (const VertexId v : m.touched_right) m.match_of_right[v] = -1;
     return matched;
   }
 
-  // Augmenting-path DFS over complement adjacency; `kuhn_round_` stamps
+  // Augmenting-path DFS over complement adjacency; `m.round` stamps
   // visited right vertices.
-  bool TryAugment(std::size_t left_index) {
-    for (const std::uint32_t v : comp_adj_[left_index]) {
-      if (kuhn_seen_[v] == kuhn_round_) continue;
-      kuhn_seen_[v] = kuhn_round_;
-      if (match_of_right_[v] < 0) {
-        match_of_right_[v] = static_cast<std::int32_t>(left_index);
-        touched_right_.push_back(static_cast<VertexId>(v));
+  bool TryAugment(SearchContext::MatchingScratch& m, std::size_t left_index) {
+    for (const std::uint32_t v : m.adj[left_index]) {
+      if (m.seen[v] == m.round) continue;
+      m.seen[v] = m.round;
+      if (m.match_of_right[v] < 0) {
+        m.match_of_right[v] = static_cast<std::int32_t>(left_index);
+        m.touched_right.push_back(static_cast<VertexId>(v));
         return true;
       }
-      if (TryAugment(static_cast<std::size_t>(match_of_right_[v]))) {
-        match_of_right_[v] = static_cast<std::int32_t>(left_index);
+      if (TryAugment(m, static_cast<std::size_t>(m.match_of_right[v]))) {
+        m.match_of_right[v] = static_cast<std::int32_t>(left_index);
         return true;
       }
     }
@@ -312,15 +320,9 @@ class DenseMbbSearcher {
   const DenseSubgraph& g_;
   const DenseMbbOptions& options_;
   std::uint32_t best_size_;
+  SearchContext& ctx_;
   std::vector<VertexId> a_;
   std::vector<VertexId> b_;
-  // Scratch state for the complement matching bound.
-  std::vector<VertexId> comp_left_;
-  std::vector<std::vector<std::uint32_t>> comp_adj_;
-  std::vector<std::int32_t> match_of_right_;
-  std::vector<std::uint32_t> kuhn_seen_;
-  std::vector<VertexId> touched_right_;
-  std::uint32_t kuhn_round_ = 0;
   Biclique best_;
   SearchStats stats_;
 };
@@ -328,27 +330,34 @@ class DenseMbbSearcher {
 }  // namespace
 
 MbbResult DenseMbbSolve(const DenseSubgraph& g, const DenseMbbOptions& options,
-                        std::uint32_t initial_best) {
-  DenseMbbSearcher searcher(g, options, initial_best);
-  Bitset ca(g.num_left());
-  ca.SetAll();
-  Bitset cb(g.num_right());
-  cb.SetAll();
-  return searcher.Run({}, {}, std::move(ca), std::move(cb));
+                        std::uint32_t initial_best, SearchContext* context) {
+  SearchContext transient;
+  SearchContext& ctx = context != nullptr ? *context : transient;
+  DenseMbbSearcher searcher(g, options, initial_best, ctx);
+  SearchContext::BranchFrame& root = ctx.Frame(0);
+  root.ca.Resize(g.num_left());
+  root.ca.SetAll();
+  root.cb.Resize(g.num_right());
+  root.cb.SetAll();
+  return searcher.Run({}, {}, root);
 }
 
 MbbResult DenseMbbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
                                 const DenseMbbOptions& options,
-                                std::uint32_t initial_best) {
-  DenseMbbSearcher searcher(g, options, initial_best);
-  Bitset ca(g.num_left());
-  ca.SetAll();
-  ca.Reset(anchor);
+                                std::uint32_t initial_best,
+                                SearchContext* context) {
+  SearchContext transient;
+  SearchContext& ctx = context != nullptr ? *context : transient;
+  DenseMbbSearcher searcher(g, options, initial_best, ctx);
+  SearchContext::BranchFrame& root = ctx.Frame(0);
+  root.ca.Resize(g.num_left());
+  root.ca.SetAll();
+  root.ca.Reset(anchor);
   // B-side candidates are restricted to the anchor's neighbours so the
   // biclique invariant (every candidate adjacent to all fixed vertices)
   // holds from the start.
-  Bitset cb = g.LeftRow(anchor);
-  return searcher.Run({anchor}, {}, std::move(ca), std::move(cb));
+  root.cb = g.LeftRow(anchor);
+  return searcher.Run({anchor}, {}, root);
 }
 
 }  // namespace mbb

@@ -6,6 +6,8 @@
 
 namespace mbb {
 
+class SearchContext;
+
 /// Configuration of the paper's Algorithm 3 (`denseMBB`). The defaults are
 /// the full algorithm; the switches exist for the paper's ablation variants
 /// (Table 3 / Table 6):
@@ -31,16 +33,23 @@ struct DenseMbbOptions {
 /// Runs denseMBB on the whole subgraph. `initial_best` is a balanced-size
 /// lower bound: only strictly larger bicliques are reported. Result in
 /// local ids; `exact == false` when a limit fired.
+///
+/// `context` pools the per-recursion-level candidate bitsets and the
+/// matching-bound scratch; pass one shared `SearchContext` when solving
+/// many subgraphs in a row (the sparse pipeline does), or nullptr to use a
+/// transient context.
 MbbResult DenseMbbSolve(const DenseSubgraph& g,
                         const DenseMbbOptions& options = {},
-                        std::uint32_t initial_best = 0);
+                        std::uint32_t initial_best = 0,
+                        SearchContext* context = nullptr);
 
 /// Anchored variant used by the sparse pipeline's verification step
 /// (Algorithm 8): left-local `anchor` is fixed into A, so only bicliques
 /// containing it are searched.
 MbbResult DenseMbbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
                                 const DenseMbbOptions& options = {},
-                                std::uint32_t initial_best = 0);
+                                std::uint32_t initial_best = 0,
+                                SearchContext* context = nullptr);
 
 }  // namespace mbb
 

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "core/dense_mbb.h"
+#include "engine/search_context.h"
 
 namespace mbb {
 
@@ -22,6 +23,9 @@ InducedSubgraph IdentityInduced(const BipartiteGraph& g) {
 
 MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
   MbbResult out;
+  // Shared scratch for steps 2 and 3: every subgraph scan and anchored
+  // search below draws from one pooled arena.
+  SearchContext ctx;
 
   // ---- Step 1: heuristic + reduction (Algorithm 5). -------------------
   Biclique best_original;  // incumbent in g's ids
@@ -66,7 +70,7 @@ MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
   bridge_options.order = options.order;
   bridge_options.use_degeneracy_pruning = options.use_core_optimizations;
   bridge_options.greedy = options.greedy;
-  BridgeOutcome bridge = BridgeMbb(reduced, best_size, bridge_options);
+  BridgeOutcome bridge = BridgeMbb(reduced, best_size, bridge_options, &ctx);
   out.stats.Merge(bridge.stats);
   if (bridge.improved) {
     best_original = to_original(std::move(bridge.best));
@@ -86,7 +90,7 @@ MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
   verify_options.use_dense_search = options.use_dense_optimizations;
   verify_options.dense.limits = options.limits;
   VerifyOutcome verify =
-      VerifyMbb(reduced, best_size, bridge.survivors, verify_options);
+      VerifyMbb(reduced, best_size, bridge.survivors, verify_options, &ctx);
   out.stats.Merge(verify.stats);
   out.exact = verify.exact;
   if (verify.improved) {
@@ -104,11 +108,7 @@ MbbResult FindMaximumBalancedBiclique(const BipartiteGraph& g,
   const std::uint32_t n = g.NumVertices();
   if (n == 0) return {};
   if (g.Density() >= dense_threshold) {
-    std::vector<VertexId> left(g.num_left());
-    std::iota(left.begin(), left.end(), 0);
-    std::vector<VertexId> right(g.num_right());
-    std::iota(right.begin(), right.end(), 0);
-    const DenseSubgraph dense = DenseSubgraph::Build(g, left, right);
+    const DenseSubgraph dense = DenseSubgraph::Whole(g);
     DenseMbbOptions dense_options;
     dense_options.limits = options.limits;
     return DenseMbbSolve(dense, dense_options);

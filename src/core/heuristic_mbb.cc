@@ -117,11 +117,17 @@ std::vector<std::pair<Side, VertexId>> TopSeeds(
 }  // namespace
 
 std::vector<std::uint32_t> DegreeScores(const BipartiteGraph& g) {
-  std::vector<std::uint32_t> scores(g.NumVertices());
-  for (std::uint32_t v = 0; v < g.NumVertices(); ++v) {
-    scores[v] = g.Degree(g.SideOf(v), g.LocalId(v));
-  }
+  std::vector<std::uint32_t> scores;
+  DegreeScoresInto(g, scores);
   return scores;
+}
+
+void DegreeScoresInto(const BipartiteGraph& g,
+                      std::vector<std::uint32_t>& out) {
+  out.resize(g.NumVertices());
+  for (std::uint32_t v = 0; v < g.NumVertices(); ++v) {
+    out[v] = g.Degree(g.SideOf(v), g.LocalId(v));
+  }
 }
 
 Biclique GreedyMbb(const BipartiteGraph& g,

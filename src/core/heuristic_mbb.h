@@ -34,6 +34,11 @@ Biclique GreedyMbb(const BipartiteGraph& g,
 /// Per-global-vertex degree scores for `GreedyMbb`.
 std::vector<std::uint32_t> DegreeScores(const BipartiteGraph& g);
 
+/// As `DegreeScores`, but writes into `out` (resized as needed) so callers
+/// that score many subgraphs can reuse one buffer.
+void DegreeScoresInto(const BipartiteGraph& g,
+                      std::vector<std::uint32_t>& out);
+
 /// Result of the paper's Algorithm 5 (`hMBB`): step 1 of the sparse
 /// framework.
 struct HMbbOutcome {

@@ -35,13 +35,7 @@ class SizeConstrainedSearcher {
   bool Rec(Bitset ca, Bitset cb) {
     while (true) {
       ++recursions_;
-      if (limits_.max_recursions != 0 &&
-          recursions_ > limits_.max_recursions) {
-        timed_out_ = true;
-        return true;
-      }
-      if (limits_.has_deadline && (recursions_ & 1023) == 1 &&
-          limits_.DeadlinePassed()) {
+      if (limits_.ShouldStop(recursions_)) {
         timed_out_ = true;
         return true;
       }

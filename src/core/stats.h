@@ -12,6 +12,14 @@ namespace mbb {
 /// poll the deadline cooperatively (every few thousand recursions), so
 /// overshoot is bounded and no threads are involved.
 struct SearchLimits {
+  /// Every searcher polls the wall-clock deadline once per
+  /// `kDeadlinePollInterval` recursions (a power of two, so the check
+  /// compiles to a mask). One shared constant keeps the overshoot bound
+  /// uniform across the library instead of per-file magic numbers.
+  static constexpr std::uint64_t kDeadlinePollInterval = 1024;
+  static_assert((kDeadlinePollInterval & (kDeadlinePollInterval - 1)) == 0,
+                "poll interval must be a power of two");
+
   std::chrono::steady_clock::time_point deadline{};
   bool has_deadline = false;
   /// 0 means unlimited. Mainly used by tests for failure injection.
@@ -30,6 +38,16 @@ struct SearchLimits {
 
   bool DeadlinePassed() const {
     return has_deadline && std::chrono::steady_clock::now() >= deadline;
+  }
+
+  /// The shared cooperative limit check: true when the search must abort,
+  /// either because `recursions` exceeded `max_recursions` or because the
+  /// deadline passed (polled every `kDeadlinePollInterval` recursions).
+  bool ShouldStop(std::uint64_t recursions) const {
+    if (max_recursions != 0 && recursions > max_recursions) return true;
+    return has_deadline &&
+           (recursions & (kDeadlinePollInterval - 1)) == 1 &&
+           DeadlinePassed();
   }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/basic_bb.h"
+#include "engine/search_context.h"
 #include "order/core_decomposition.h"
 
 namespace mbb {
@@ -10,7 +11,12 @@ namespace mbb {
 VerifyOutcome VerifyMbb(const BipartiteGraph& reduced,
                         std::uint32_t initial_best_size,
                         std::span<const CenteredSubgraph> survivors,
-                        const VerifyOptions& options) {
+                        const VerifyOptions& options,
+                        SearchContext* context) {
+  // One pooled context serves every anchored search below: after the first
+  // few subgraphs the branch frames stop allocating entirely.
+  SearchContext transient;
+  SearchContext& ctx = context != nullptr ? *context : transient;
   VerifyOutcome out;
   out.best_size = initial_best_size;
   out.stats.terminated_step = 3;
@@ -83,10 +89,11 @@ VerifyOutcome VerifyMbb(const BipartiteGraph& reduced,
     if (options.use_dense_search) {
       DenseMbbOptions dense_options = options.dense;
       result = DenseMbbSolveAnchored(dense, /*anchor=*/0, dense_options,
-                                     out.best_size);
+                                     out.best_size, &ctx);
     } else {
       result = BasicBbSolveAnchored(dense, /*anchor=*/0,
-                                    options.dense.limits, out.best_size);
+                                    options.dense.limits, out.best_size,
+                                    &ctx);
     }
     out.stats.Merge(result.stats);
     if (!result.exact) {

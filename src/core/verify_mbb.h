@@ -36,11 +36,14 @@ struct VerifyOutcome {
 
 /// Runs Algorithm 8: for every surviving vertex-centred subgraph, reduces
 /// it against the incumbent, then runs the anchored exhaustive search
-/// ("must contain the centre") with the incumbent as lower bound.
+/// ("must contain the centre") with the incumbent as lower bound. All
+/// anchored searches share `context`'s pooled scratch (a transient context
+/// is used when nullptr).
 VerifyOutcome VerifyMbb(const BipartiteGraph& reduced,
                         std::uint32_t initial_best_size,
                         std::span<const CenteredSubgraph> survivors,
-                        const VerifyOptions& options = {});
+                        const VerifyOptions& options = {},
+                        SearchContext* context = nullptr);
 
 }  // namespace mbb
 

@@ -1,0 +1,83 @@
+#include "engine/registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mbb {
+
+namespace internal {
+// Defined in solvers.cc as a no-op. Referencing it from Instance() forces
+// the adapters' translation unit into every final link against the static
+// library, so the self-registering namespace-scope objects actually run.
+void EnsureBuiltinSolversLinked();
+}  // namespace internal
+
+SolverRegistry& SolverRegistry::Instance() {
+  static SolverRegistry* registry = new SolverRegistry();
+  internal::EnsureBuiltinSolversLinked();
+  return *registry;
+}
+
+void SolverRegistry::Register(std::string name, Factory factory) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : entries_) {
+    if (key == name) {
+      entry.factory = std::move(factory);
+      entry.cached.reset();
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), Entry{std::move(factory), nullptr});
+}
+
+const MbbSolver* SolverRegistry::Find(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, entry] : entries_) {
+    if (key == name) {
+      if (entry.cached == nullptr) entry.cached = entry.factory();
+      return entry.cached.get();
+    }
+  }
+  return nullptr;
+}
+
+const MbbSolver& SolverRegistry::Get(std::string_view name) const {
+  const MbbSolver* solver = Find(name);
+  if (solver == nullptr) {
+    std::string message = "unknown solver '";
+    message.append(name);
+    message += "'; registered:";
+    for (const std::string& known : Names()) {
+      message += ' ';
+      message += known;
+    }
+    throw std::out_of_range(message);
+  }
+  return *solver;
+}
+
+std::vector<std::string> SolverRegistry::Names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) names.push_back(key);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+MbbResult SolverRegistry::Solve(std::string_view name,
+                                const BipartiteGraph& g,
+                                const SolverOptions& options) {
+  MbbResult result = Instance().Get(name).Solve(g, options);
+  if (options.stats_sink != nullptr) {
+    options.stats_sink->Merge(result.stats);
+  }
+  return result;
+}
+
+SolverRegistration::SolverRegistration(std::string name,
+                                       SolverRegistry::Factory factory) {
+  SolverRegistry::Instance().Register(std::move(name), std::move(factory));
+}
+
+}  // namespace mbb

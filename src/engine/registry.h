@@ -1,0 +1,78 @@
+#ifndef MBB_ENGINE_REGISTRY_H_
+#define MBB_ENGINE_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/solver.h"
+
+namespace mbb {
+
+/// String-keyed registry of every `MbbSolver` in the library. The built-in
+/// adapters (src/engine/solvers.cc) self-register at static-initialization
+/// time; external code can add solvers the same way through
+/// `SolverRegistration`.
+///
+/// Lookup keys are the algorithm names the CLI and the eval harness use:
+/// `dense`, `hbv`, `basic`, `extbbclq`, `imbea`, `fmbe`, `pols`,
+/// `sbmnas`, `adapted`, `brute`, plus the preset aliases `auto`,
+/// `bd1`..`bd5` and `adp1`..`adp4`.
+class SolverRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<MbbSolver>()>;
+
+  /// The process-wide registry (function-local static, safe during static
+  /// initialization of registration objects).
+  static SolverRegistry& Instance();
+
+  /// Registers `factory` under `name`. Registering an existing name
+  /// replaces the previous entry (latest wins), which lets tests shadow a
+  /// built-in.
+  void Register(std::string name, Factory factory);
+
+  /// The solver registered under `name`, or nullptr when unknown. The
+  /// instance is created on first lookup and cached; lookups are
+  /// mutex-guarded so concurrent callers are safe (solver instances
+  /// themselves are stateless and shareable). A returned pointer stays
+  /// valid until the name is re-registered.
+  const MbbSolver* Find(std::string_view name) const;
+
+  /// As `Find`, but throws std::out_of_range with the known names listed
+  /// when `name` is unknown.
+  const MbbSolver& Get(std::string_view name) const;
+
+  bool Contains(std::string_view name) const { return Find(name) != nullptr; }
+
+  /// All registered names, sorted.
+  std::vector<std::string> Names() const;
+
+  /// Convenience: `Get(name).Solve(g, options)` plus servicing
+  /// `options.stats_sink`. This is the entry point the CLI and the eval
+  /// harness dispatch through.
+  static MbbResult Solve(std::string_view name, const BipartiteGraph& g,
+                         const SolverOptions& options = {});
+
+ private:
+  struct Entry {
+    Factory factory;
+    mutable std::unique_ptr<MbbSolver> cached;
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, Entry>> entries_;
+};
+
+/// Self-registration helper: a namespace-scope
+/// `SolverRegistration reg("name", [] { return std::make_unique<...>(); });`
+/// adds a solver before main() runs.
+struct SolverRegistration {
+  SolverRegistration(std::string name, SolverRegistry::Factory factory);
+};
+
+}  // namespace mbb
+
+#endif  // MBB_ENGINE_REGISTRY_H_

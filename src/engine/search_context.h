@@ -1,0 +1,100 @@
+#ifndef MBB_ENGINE_SEARCH_CONTEXT_H_
+#define MBB_ENGINE_SEARCH_CONTEXT_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "graph/bipartite_graph.h"
+#include "graph/bitset.h"
+
+namespace mbb {
+
+/// Pooled scratch memory for the branch-and-bound searches.
+///
+/// The searchers (`basicBB`, `denseMBB`, the bridge/verify pipeline) used
+/// to copy their candidate `Bitset`s into fresh heap allocations at every
+/// branch node, which dominated the cost of shallow nodes on small
+/// subgraphs. A `SearchContext` keeps one reusable candidate-set frame per
+/// recursion nesting level plus the auxiliary vectors of the König
+/// (complement-matching) bound, so a branch step degrades into word copies
+/// over memory that is already allocated and cache-resident.
+///
+/// Frames live in a `std::deque` so growing the pool never invalidates the
+/// references held by outer recursion levels.
+///
+/// One context can be reused across any number of searches — the sparse
+/// pipeline runs every anchored verification search through a single
+/// context, and a registry solver (`MbbSolver`) typically owns one for its
+/// whole `Solve` call. Contexts are cheap to default-construct, so entry
+/// points that receive `nullptr` simply build a transient one.
+///
+/// Not thread-safe: one context per concurrent search.
+class SearchContext {
+ public:
+  /// Candidate-set scratch for one recursion nesting level. `ca`/`cb`
+  /// mirror the two candidate sides; their sizes are whatever the last
+  /// user at this level assigned (Bitset assignment reuses capacity).
+  struct BranchFrame {
+    Bitset ca;
+    Bitset cb;
+  };
+
+  /// Scratch for denseMBB's complement-matching (König) bound: the
+  /// participating left vertices, their complement adjacency rows (pooled
+  /// — `rows_used` says how many are live this round), Kuhn's matching
+  /// state, and the per-candidate difference bitset.
+  struct MatchingScratch {
+    std::vector<VertexId> left;
+    std::vector<std::vector<std::uint32_t>> adj;
+    std::size_t rows_used = 0;
+    std::vector<std::int32_t> match_of_right;
+    std::vector<std::uint64_t> seen;
+    std::vector<VertexId> touched_right;
+    std::uint64_t round = 0;
+    Bitset missing;
+
+    /// Starts a new bound computation: clears the participant list and
+    /// recycles the adjacency rows without releasing their capacity.
+    void BeginRound() {
+      left.clear();
+      rows_used = 0;
+    }
+
+    /// Returns a cleared adjacency row, reusing a pooled vector.
+    std::vector<std::uint32_t>& NextRow() {
+      if (rows_used == adj.size()) adj.emplace_back();
+      std::vector<std::uint32_t>& row = adj[rows_used++];
+      row.clear();
+      return row;
+    }
+  };
+
+  SearchContext() = default;
+  SearchContext(const SearchContext&) = delete;
+  SearchContext& operator=(const SearchContext&) = delete;
+
+  /// The scratch frame for recursion nesting level `level` (0-based).
+  /// Created on first use; keeps its capacity for the context's lifetime.
+  BranchFrame& Frame(std::size_t level) {
+    while (frames_.size() <= level) frames_.emplace_back();
+    return frames_[level];
+  }
+
+  MatchingScratch& matching() { return matching_; }
+
+  /// Reusable score/index vector (per-vertex degree scores in bridgeMBB).
+  std::vector<std::uint32_t>& ScoreScratch() { return score_scratch_; }
+
+  /// Number of frames materialized so far (diagnostics / tests).
+  std::size_t FrameCount() const { return frames_.size(); }
+
+ private:
+  std::deque<BranchFrame> frames_;
+  MatchingScratch matching_;
+  std::vector<std::uint32_t> score_scratch_;
+};
+
+}  // namespace mbb
+
+#endif  // MBB_ENGINE_SEARCH_CONTEXT_H_

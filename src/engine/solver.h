@@ -1,0 +1,96 @@
+#ifndef MBB_ENGINE_SOLVER_H_
+#define MBB_ENGINE_SOLVER_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "baselines/adapted.h"
+#include "baselines/pols.h"
+#include "baselines/sbmnas.h"
+#include "core/dense_mbb.h"
+#include "core/hbv_mbb.h"
+#include "core/stats.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Unified configuration for every solver behind the `SolverRegistry`.
+///
+/// The shared resource fields (`time_limit_seconds`, `max_recursions`,
+/// `initial_bound`, `stats_sink`) subsume the `SearchLimits` plumbing the
+/// per-algorithm entry points take directly: adapters derive one
+/// `SearchLimits` via `Limits()` and overwrite the `limits` members of the
+/// embedded per-algorithm option structs, so a caller sets the budget in
+/// exactly one place. The embedded structs (`dense`, `hbv`, ...) expose
+/// the per-algorithm knobs — ablation switches, greedy tuning, heuristic
+/// seeds — and only the adapter for the matching algorithm reads them.
+struct SolverOptions {
+  /// Wall-clock budget in seconds; <= 0 means unlimited. Polled
+  /// cooperatively (see `SearchLimits::kDeadlinePollInterval`).
+  double time_limit_seconds = 0.0;
+  /// Recursion cap; 0 means unlimited. Mainly failure injection in tests.
+  std::uint64_t max_recursions = 0;
+  /// Balanced-size lower bound: only strictly larger bicliques are
+  /// reported (`best` stays empty when nothing beats it). Ignored by
+  /// solvers without an incumbent parameter (heuristics, `brute`).
+  std::uint32_t initial_bound = 0;
+  /// When non-null, the final `SearchStats` are merged into this sink by
+  /// `SolverRegistry::Solve` — the hook the eval/CLI layers use to
+  /// aggregate statistics across runs.
+  SearchStats* stats_sink = nullptr;
+  /// Density threshold of the `auto` solver (denseMBB at or above it,
+  /// hbvMBB below).
+  double dense_threshold = 0.8;
+
+  /// Per-algorithm knobs. The `limits` members inside these structs are
+  /// ignored — adapters overwrite them from `Limits()`.
+  DenseMbbOptions dense;
+  HbvOptions hbv;
+  PolsOptions pols;
+  SbmnasOptions sbmnas;
+  /// Variant run by the `adapted` solver (`adp1`..`adp4` aliases pin it).
+  AdpVariant adapted_variant = AdpVariant::kAdp3;
+
+  /// The unified budget as the `SearchLimits` the low-level APIs take.
+  SearchLimits Limits() const {
+    SearchLimits limits;
+    if (time_limit_seconds > 0) {
+      limits = SearchLimits::FromSeconds(time_limit_seconds);
+    }
+    limits.max_recursions = max_recursions;
+    return limits;
+  }
+
+  static SolverOptions WithTimeout(double seconds) {
+    SolverOptions options;
+    options.time_limit_seconds = seconds;
+    return options;
+  }
+};
+
+/// Interface every algorithm in the library is adapted to. Implementations
+/// are stateless (scratch lives in per-call `SearchContext`s), so one
+/// instance may serve concurrent callers.
+class MbbSolver {
+ public:
+  virtual ~MbbSolver() = default;
+
+  /// Registry key ("dense", "hbv", ...).
+  virtual std::string_view Name() const = 0;
+
+  /// True when the solver certifies optimality (provided no limit fires);
+  /// false for the local-search heuristics (`pols`, `sbmnas`), whose
+  /// results always report `exact == false`.
+  virtual bool IsExact() const = 0;
+
+  /// Runs the algorithm on `g`. The result's biclique is in `g`'s ids,
+  /// balanced, and valid; `exact` is false when a limit fired or the
+  /// solver is heuristic. Prefer `SolverRegistry::Solve`, which also
+  /// services `options.stats_sink`.
+  virtual MbbResult Solve(const BipartiteGraph& g,
+                          const SolverOptions& options) const = 0;
+};
+
+}  // namespace mbb
+
+#endif  // MBB_ENGINE_SOLVER_H_

@@ -1,0 +1,244 @@
+/// The built-in `MbbSolver` adapters: every algorithm in the library —
+/// the paper's denseMBB/hbvMBB, the basicBB reference, the four §6
+/// baselines, the two local-search heuristics, and the brute-force oracle
+/// — wrapped behind the uniform registry interface. Each adapter derives
+/// its `SearchLimits` from the unified `SolverOptions` budget and pools
+/// its scratch in a per-call `SearchContext`.
+
+#include <memory>
+#include <utility>
+
+#include "baselines/adapted.h"
+#include "baselines/brute_force.h"
+#include "baselines/ext_bbclq.h"
+#include "baselines/fmbe.h"
+#include "baselines/imbea.h"
+#include "baselines/pols.h"
+#include "baselines/sbmnas.h"
+#include "core/basic_bb.h"
+#include "core/dense_mbb.h"
+#include "core/hbv_mbb.h"
+#include "engine/registry.h"
+#include "engine/search_context.h"
+#include "graph/dense_subgraph.h"
+
+namespace mbb {
+
+namespace internal {
+void EnsureBuiltinSolversLinked() {}
+}  // namespace internal
+
+namespace {
+
+/// Base for the exact/heuristic adapters below: stores the registry key.
+template <bool kExact>
+class NamedSolver : public MbbSolver {
+ public:
+  explicit NamedSolver(std::string_view name) : name_(name) {}
+  std::string_view Name() const override { return name_; }
+  bool IsExact() const override { return kExact; }
+
+ private:
+  std::string_view name_;
+};
+
+// ---------------------------------------------------------------------------
+// Dense-side exact searchers (whole-graph DenseSubgraph).
+// ---------------------------------------------------------------------------
+
+class DenseSolver final : public NamedSolver<true> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    DenseMbbOptions dense = options.dense;
+    dense.limits = options.Limits();
+    SearchContext ctx;
+    return DenseMbbSolve(DenseSubgraph::Whole(g), dense,
+                         options.initial_bound, &ctx);
+  }
+};
+
+class BasicSolver final : public NamedSolver<true> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    SearchContext ctx;
+    return BasicBbSolve(DenseSubgraph::Whole(g), options.Limits(),
+                        options.initial_bound, &ctx);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Sparse framework (Algorithm 4) and its breakdown presets.
+// ---------------------------------------------------------------------------
+
+/// `hbv` runs the caller's `options.hbv` toggles; the `bd1`..`bd5` aliases
+/// pin the ablation preset and keep only the caller's greedy tuning.
+class HbvSolver final : public NamedSolver<true> {
+ public:
+  HbvSolver(std::string_view name, HbvOptions (*preset)())
+      : NamedSolver(name), preset_(preset) {}
+
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    HbvOptions hbv = options.hbv;
+    if (preset_ != nullptr) {
+      hbv = preset_();
+      hbv.greedy = options.hbv.greedy;
+    }
+    hbv.limits = options.Limits();
+    return HbvMbb(g, hbv);
+  }
+
+ private:
+  HbvOptions (*preset_)();
+};
+
+/// Density-dispatching convenience solver (`FindMaximumBalancedBiclique`).
+class AutoSolver final : public NamedSolver<true> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    HbvOptions hbv = options.hbv;
+    hbv.limits = options.Limits();
+    return FindMaximumBalancedBiclique(g, hbv, options.dense_threshold);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// §6 baselines.
+// ---------------------------------------------------------------------------
+
+class ExtBbclqSolver final : public NamedSolver<true> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    return ExtBbclqSolve(g, options.Limits(), options.initial_bound);
+  }
+};
+
+class ImbeaSolver final : public NamedSolver<true> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    return ImbeaSolve(g, options.Limits(), options.initial_bound);
+  }
+};
+
+class FmbeSolver final : public NamedSolver<true> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    return FmbeSolve(g, options.Limits(), options.initial_bound);
+  }
+};
+
+/// `adapted` reads `options.adapted_variant`; `adp1`..`adp4` pin it.
+class AdaptedSolver final : public NamedSolver<true> {
+ public:
+  AdaptedSolver(std::string_view name, int variant)
+      : NamedSolver(name), variant_(variant) {}
+
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    const AdpVariant variant = variant_ >= 0
+                                   ? static_cast<AdpVariant>(variant_)
+                                   : options.adapted_variant;
+    return AdpSolve(g, variant, options.Limits());
+  }
+
+ private:
+  int variant_;  // -1: take the variant from SolverOptions
+};
+
+// ---------------------------------------------------------------------------
+// Heuristics (IsExact() == false, results report exact == false).
+// ---------------------------------------------------------------------------
+
+class PolsSolver final : public NamedSolver<false> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    PolsOptions pols = options.pols;
+    pols.limits = options.Limits();
+    MbbResult result;
+    result.best = PolsSolve(g, pols);
+    result.exact = false;
+    return result;
+  }
+};
+
+class SbmnasSolver final : public NamedSolver<false> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    SbmnasOptions sbmnas = options.sbmnas;
+    sbmnas.limits = options.Limits();
+    MbbResult result;
+    result.best = SbmnasSolve(g, sbmnas);
+    result.exact = false;
+    return result;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Brute-force oracle (tests / cross-validation; min(|L|,|R|) <= 24).
+// ---------------------------------------------------------------------------
+
+class BruteSolver final : public NamedSolver<true> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    (void)options;  // exhaustive by construction; no limits, no incumbent
+    MbbResult result;
+    result.best = BruteForceMbb(g);
+    return result;
+  }
+};
+
+template <typename Solver, typename... Args>
+SolverRegistry::Factory MakeFactory(std::string_view name, Args... args) {
+  return [name, args...] {
+    return std::make_unique<Solver>(name, args...);
+  };
+}
+
+#define MBB_REGISTER_SOLVER(key, Solver, ...)                       \
+  const SolverRegistration kRegister_##Solver##_##key(              \
+      #key, MakeFactory<Solver>(#key __VA_OPT__(, ) __VA_ARGS__))
+
+MBB_REGISTER_SOLVER(dense, DenseSolver);
+MBB_REGISTER_SOLVER(basic, BasicSolver);
+MBB_REGISTER_SOLVER(hbv, HbvSolver, nullptr);
+MBB_REGISTER_SOLVER(bd1, HbvSolver, &HbvOptions::Bd1);
+MBB_REGISTER_SOLVER(bd2, HbvSolver, &HbvOptions::Bd2);
+MBB_REGISTER_SOLVER(bd3, HbvSolver, &HbvOptions::Bd3);
+MBB_REGISTER_SOLVER(bd4, HbvSolver, &HbvOptions::Bd4);
+MBB_REGISTER_SOLVER(bd5, HbvSolver, &HbvOptions::Bd5);
+MBB_REGISTER_SOLVER(auto, AutoSolver);
+MBB_REGISTER_SOLVER(extbbclq, ExtBbclqSolver);
+MBB_REGISTER_SOLVER(imbea, ImbeaSolver);
+MBB_REGISTER_SOLVER(fmbe, FmbeSolver);
+MBB_REGISTER_SOLVER(adapted, AdaptedSolver, -1);
+MBB_REGISTER_SOLVER(adp1, AdaptedSolver, 0);
+MBB_REGISTER_SOLVER(adp2, AdaptedSolver, 1);
+MBB_REGISTER_SOLVER(adp3, AdaptedSolver, 2);
+MBB_REGISTER_SOLVER(adp4, AdaptedSolver, 3);
+MBB_REGISTER_SOLVER(pols, PolsSolver);
+MBB_REGISTER_SOLVER(sbmnas, SbmnasSolver);
+MBB_REGISTER_SOLVER(brute, BruteSolver);
+
+#undef MBB_REGISTER_SOLVER
+
+}  // namespace
+
+}  // namespace mbb

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <string>
 
+#include "engine/registry.h"
+
 namespace mbb {
 
 TimedRun RunWithTimeout(
@@ -13,6 +15,19 @@ TimedRun RunWithTimeout(
   run.result = solver(SearchLimits::FromSeconds(timeout_seconds));
   run.seconds = timer.Seconds();
   run.timed_out = !run.result.exact;
+  return run;
+}
+
+TimedRun RunSolver(std::string_view name, const BipartiteGraph& g,
+                   double timeout_seconds, SolverOptions options) {
+  options.time_limit_seconds = timeout_seconds;
+  TimedRun run;
+  WallTimer timer;
+  run.result = SolverRegistry::Solve(name, g, options);
+  run.seconds = timer.Seconds();
+  // Keyed off the stats flag, not `exact`: heuristic solvers always
+  // report exact == false, which must not render as a timeout.
+  run.timed_out = run.result.stats.timed_out;
   return run;
 }
 

@@ -5,8 +5,11 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <string_view>
 
 #include "core/stats.h"
+#include "engine/solver.h"
+#include "graph/bipartite_graph.h"
 
 namespace mbb {
 
@@ -37,6 +40,14 @@ struct TimedRun {
 /// captures wall time + timeout state.
 TimedRun RunWithTimeout(double timeout_seconds,
                         const std::function<MbbResult(SearchLimits)>& solver);
+
+/// Registry-based variant: runs the `SolverRegistry` entry `name` on `g`
+/// under `timeout_seconds` and captures wall time + timeout state. Extra
+/// per-algorithm knobs ride in `options` (its `time_limit_seconds` is
+/// overwritten). This is the dispatch the eval tables and the CLI share;
+/// throws std::out_of_range for an unknown name.
+TimedRun RunSolver(std::string_view name, const BipartiteGraph& g,
+                   double timeout_seconds, SolverOptions options = {});
 
 /// Shared command-line handling for the bench binaries: `--full` switches
 /// to paper-scale inputs, `--timeout SEC` adjusts the per-run deadline,

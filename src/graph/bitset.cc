@@ -64,7 +64,13 @@ int Bitset::FindFirst() const {
 
 int Bitset::FindNext(std::size_t i) const {
   ++i;
-  if (i >= num_bits_) return -1;
+  // `i == 0` means the increment wrapped (the caller passed SIZE_MAX, e.g.
+  // an int -1 converted to std::size_t). Without this guard the scan would
+  // restart at bit 0 and an iteration loop over set bits would never
+  // terminate. The word-boundary cases (i = 63, 64, 127, ...) fall through
+  // to the masked first-word read below, which handles a zero in-word
+  // offset correctly.
+  if (i == 0 || i >= num_bits_) return -1;
   std::size_t w = i >> 6;
   std::uint64_t bits = words_[w] & (~std::uint64_t{0} << (i & 63));
   while (true) {

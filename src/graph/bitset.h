@@ -70,6 +70,9 @@ class Bitset {
   int FindFirst() const;
 
   /// Index of the lowest set bit strictly greater than `i`, or -1 when none.
+  /// Safe for any `i`, including word boundaries (63, 127, ...), `i >=
+  /// size()`, and `SIZE_MAX` (so feeding back a sign-converted -1 sentinel
+  /// terminates instead of wrapping to bit 0).
   int FindNext(std::size_t i) const;
 
   /// In-place intersection. Preconditions: `size() == other.size()`.

@@ -40,6 +40,14 @@ DenseSubgraph DenseSubgraph::Build(const BipartiteGraph& g,
   return s;
 }
 
+DenseSubgraph DenseSubgraph::Whole(const BipartiteGraph& g) {
+  std::vector<VertexId> left(g.num_left());
+  for (VertexId l = 0; l < g.num_left(); ++l) left[l] = l;
+  std::vector<VertexId> right(g.num_right());
+  for (VertexId r = 0; r < g.num_right(); ++r) right[r] = r;
+  return Build(g, left, right);
+}
+
 DenseSubgraph DenseSubgraph::FromLocalAdjacency(
     std::uint32_t num_left, std::uint32_t num_right,
     const std::vector<std::vector<VertexId>>& adj) {

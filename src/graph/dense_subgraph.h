@@ -38,6 +38,10 @@ class DenseSubgraph {
       std::uint32_t num_left, std::uint32_t num_right,
       const std::vector<std::vector<VertexId>>& adj);
 
+  /// Covers the whole of `g` (identity vertex lists on both sides) — the
+  /// standard way to run a dense searcher on a full bipartite graph.
+  static DenseSubgraph Whole(const BipartiteGraph& g);
+
   std::uint32_t num_left() const {
     return static_cast<std::uint32_t>(left_adj_.size());
   }

@@ -11,6 +11,12 @@
 /// Baselines (`ExtBbclqSolve`, `ImbeaSolve`, `FmbeSolve`, `PolsSolve`,
 /// `SbmnasSolve`, `AdpSolve`) and the substrate (graphs, generators,
 /// core/bicore decompositions, search orders) are exposed for experiments.
+///
+/// The uniform entry point is the engine layer (docs/ARCHITECTURE.md):
+/// every algorithm is registered as an `MbbSolver` in the
+/// `SolverRegistry`, configured through one `SolverOptions`, e.g.
+/// `SolverRegistry::Solve("hbv", g, SolverOptions::WithTimeout(60))`.
+/// Branch-and-bound scratch is pooled in `SearchContext` arenas.
 
 #include "baselines/adapted.h"
 #include "baselines/brute_force.h"
@@ -30,6 +36,9 @@
 #include "core/size_constrained.h"
 #include "core/stats.h"
 #include "core/verify_mbb.h"
+#include "engine/registry.h"
+#include "engine/search_context.h"
+#include "engine/solver.h"
 #include "graph/biclique.h"
 #include "graph/bipartite_graph.h"
 #include "graph/bitset.h"

@@ -96,6 +96,46 @@ TEST(Bitset, FindFirstAndNext) {
   EXPECT_EQ(b.FindNext(0), 7);
 }
 
+TEST(Bitset, FindNextWordBoundaries) {
+  // Every transition around a 64-bit word edge: the probe index, the target
+  // bit, or both sit on a boundary.
+  Bitset b(256);
+  for (const std::size_t i : {0, 62, 63, 64, 65, 127, 128, 191, 192, 255}) {
+    b.Set(i);
+  }
+  EXPECT_EQ(b.FindNext(62), 63);
+  EXPECT_EQ(b.FindNext(63), 64);   // probe on the last bit of word 0
+  EXPECT_EQ(b.FindNext(64), 65);   // probe on the first bit of word 1
+  EXPECT_EQ(b.FindNext(65), 127);
+  EXPECT_EQ(b.FindNext(127), 128);
+  EXPECT_EQ(b.FindNext(128), 191);
+  EXPECT_EQ(b.FindNext(192), 255);
+  EXPECT_EQ(b.FindNext(255), -1);  // probe on the final bit
+}
+
+TEST(Bitset, FindNextBoundaryRegression) {
+  // Regression: with exactly one word, FindNext(63) must not read past the
+  // word array or wrap; with more words it must continue into word 1.
+  Bitset one_word(64);
+  one_word.SetAll();
+  EXPECT_EQ(one_word.FindNext(63), -1);
+  Bitset two_words(65);
+  two_words.Set(64);
+  EXPECT_EQ(two_words.FindNext(63), 64);
+
+  // Out-of-range probes are safe, including the SIZE_MAX sentinel a caller
+  // produces by converting a -1 "no previous bit" int: the increment must
+  // not wrap around to bit 0.
+  Bitset b(128);
+  b.Set(0);
+  b.Set(127);
+  EXPECT_EQ(b.FindNext(127), -1);
+  EXPECT_EQ(b.FindNext(128), -1);
+  EXPECT_EQ(b.FindNext(1000), -1);
+  EXPECT_EQ(b.FindNext(static_cast<std::size_t>(-1)), -1);
+  EXPECT_EQ(Bitset().FindNext(static_cast<std::size_t>(-1)), -1);
+}
+
 TEST(Bitset, AndOrXor) {
   Bitset a(80);
   Bitset b(80);

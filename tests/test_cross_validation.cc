@@ -12,6 +12,7 @@
 #include "core/basic_bb.h"
 #include "core/dense_mbb.h"
 #include "core/hbv_mbb.h"
+#include "engine/registry.h"
 #include "test_util.h"
 
 namespace mbb {
@@ -137,6 +138,47 @@ TEST(CrossValidationStructured, GridNeighborhoodGraph) {
             expected);
   EXPECT_EQ(AdpSolve(g, AdpVariant::kAdp2).best.BalancedSize(), expected);
   EXPECT_EQ(AdpSolve(g, AdpVariant::kAdp4).best.BalancedSize(), expected);
+}
+
+/// Registry sweep: every registered solver must produce a valid balanced
+/// biclique, and the exact ones must match the brute-force oracle.
+void ExpectRegistryAgreesWithBrute(const BipartiteGraph& g) {
+  const std::uint32_t optimum = BruteForceMbbSize(g);
+  for (const std::string& name : SolverRegistry::Instance().Names()) {
+    const MbbSolver& solver = SolverRegistry::Instance().Get(name);
+    const MbbResult r = SolverRegistry::Solve(name, g);
+    EXPECT_TRUE(r.best.IsBalanced()) << name;
+    EXPECT_TRUE(r.best.IsBicliqueIn(g)) << name;
+    if (solver.IsExact()) {
+      EXPECT_TRUE(r.exact) << name;
+      EXPECT_EQ(r.best.BalancedSize(), optimum) << name;
+    } else {
+      // Heuristics must stay feasible; optimality is not promised.
+      EXPECT_LE(r.best.BalancedSize(), optimum) << name;
+      EXPECT_FALSE(r.exact) << name;
+    }
+  }
+}
+
+TEST(SolverRegistryCrossValidation, PaperExampleGraph) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  ASSERT_EQ(BruteForceMbbSize(g), 2u);
+  ExpectRegistryAgreesWithBrute(g);
+}
+
+TEST(SolverRegistryCrossValidation, RandomGnpInstances) {
+  // 20 G(n,p) instances spanning shapes and densities.
+  for (int i = 0; i < 20; ++i) {
+    const std::uint32_t nl = 5 + (3 * i) % 8;
+    const std::uint32_t nr = 5 + (5 * i) % 9;
+    const double density = 0.15 + 0.04 * (i % 18);
+    const std::uint64_t seed = 1000 + 37 * static_cast<std::uint64_t>(i);
+    const BipartiteGraph g = RandomUniform(nl, nr, density, seed);
+    SCOPED_TRACE(::testing::Message()
+                 << "nl=" << nl << " nr=" << nr << " density=" << density
+                 << " seed=" << seed);
+    ExpectRegistryAgreesWithBrute(g);
+  }
 }
 
 }  // namespace

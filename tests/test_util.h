@@ -36,11 +36,7 @@ inline BipartiteGraph CompleteBipartite(std::uint32_t nl, std::uint32_t nr) {
 
 /// DenseSubgraph covering the whole graph (identity vertex lists).
 inline DenseSubgraph WholeGraphDense(const BipartiteGraph& g) {
-  std::vector<VertexId> left(g.num_left());
-  std::iota(left.begin(), left.end(), 0);
-  std::vector<VertexId> right(g.num_right());
-  std::iota(right.begin(), right.end(), 0);
-  return DenseSubgraph::Build(g, left, right);
+  return DenseSubgraph::Whole(g);
 }
 
 /// Uniform random test graph.
