@@ -1,0 +1,92 @@
+/// Measures the parallel verifyMBB fan-out: the surviving centred
+/// subgraphs of a multi-survivor sparse instance are verified with 1, 2, 4
+/// and 8 workers, all runs from the same survivor list and incumbent, and
+/// the wall-clock speedup over the sequential scan is reported. The best
+/// balanced size must be identical at every thread count (the shared
+/// atomic incumbent only tightens pruning; it never changes the answer).
+///
+/// `--scale X` scales the instance, `--timeout SEC` bounds each run.
+
+#include <cstdint>
+#include <iostream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/bridge_mbb.h"
+#include "core/verify_mbb.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+#include "graph/generators.h"
+
+namespace {
+
+using namespace mbb;
+
+constexpr double kDefaultScale = 1.0;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchConfig config = ParseBenchArgs(argc, argv);
+  const double timeout = config.EffectiveTimeout(120.0);
+  const double scale = config.EffectiveScale(kDefaultScale);
+
+  // A moderately sparse uniform graph: the two-hop centred subgraphs are
+  // large enough that each surviving anchored search does real
+  // branch-and-bound work, so step 3 has a long list of genuinely hard
+  // independent searches — the workload the fan-out exists for.
+  const auto n = static_cast<std::uint32_t>(400 * scale);
+  const BipartiteGraph g = RandomUniform(n, n, 0.12, 7);
+
+  std::cout << "parallel verifyMBB fan-out (|L|=|R|=" << n
+            << ", |E|=" << g.num_edges() << ", timeout " << timeout
+            << "s, hardware threads "
+            << std::thread::hardware_concurrency() << ")\n\n";
+
+  // One bridge pass feeds every verify run. The local heuristic stays off
+  // so the survivor list (and thus the verification work) stays large.
+  BridgeOptions bridge_options;
+  bridge_options.use_local_heuristic = false;
+  WallTimer bridge_timer;
+  const BridgeOutcome bridge = BridgeMbb(g, 0, bridge_options);
+  std::cout << "bridge: " << bridge.survivors.size() << " survivors in "
+            << bridge_timer.Seconds() << "s\n\n";
+
+  TablePrinter table({"threads", "best", "time(s)", "speedup", "searched",
+                      "skipped", "exact"});
+  double sequential_seconds = 0.0;
+  std::uint32_t sequential_best = 0;
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    VerifyOptions options;
+    options.num_threads = threads;
+    options.dense.limits = SearchLimits::FromSeconds(timeout);
+    WallTimer timer;
+    const VerifyOutcome out =
+        VerifyMbb(g, bridge.best_size, bridge.survivors, options);
+    const double seconds = timer.Seconds();
+    if (threads == 1) {
+      sequential_seconds = seconds;
+      sequential_best = out.best_size;
+    } else if (out.exact && out.best_size != sequential_best) {
+      std::cerr << "MISMATCH: threads=" << threads << " found "
+                << out.best_size << ", sequential found " << sequential_best
+                << "\n";
+      return 1;
+    }
+    std::ostringstream speedup;
+    speedup.precision(2);
+    speedup << std::fixed << sequential_seconds / seconds << "x";
+    table.AddRow({std::to_string(threads), std::to_string(out.best_size),
+                  FormatSeconds(seconds, false), speedup.str(),
+                  std::to_string(out.stats.subgraphs_searched),
+                  std::to_string(out.stats.subgraphs_skipped),
+                  out.exact ? "yes" : "no"});
+  }
+  table.Print(std::cout);
+  std::cout << "\nShape check: identical best at every thread count; "
+               "speedup grows with threads\nuntil the survivor list or the "
+               "hardware runs out (on a single-core host the\nfan-out only "
+               "shows its scheduling overhead, a few percent).\n";
+  return 0;
+}

@@ -35,6 +35,8 @@ void Usage() {
       "                              or mvb; default auto\n"
       "  --algorithm NAME            alias for --algo\n"
       "  --timeout SEC               deadline (default 60)\n"
+      "  --threads N                 verification worker threads\n"
+      "                              (default 1; 0 = all hardware threads)\n"
       "  --stats                     print search statistics\n"
       "  --list                      list dataset names and exit\n"
       "  --list-algos                list registered solvers and exit\n";
@@ -48,13 +50,14 @@ std::string CanonicalAlgoName(std::string name) {
 }
 
 MbbResult Solve(const std::string& algorithm, const BipartiteGraph& g,
-                double timeout) {
+                double timeout, std::uint32_t threads) {
   if (algorithm == "mvb") {
     MbbResult r;
     r.best = MaximumVertexBiclique(g);
     return r;
   }
   SolverOptions options = SolverOptions::WithTimeout(timeout);
+  options.num_threads = threads;
   return SolverRegistry::Solve(algorithm, g, options);
 }
 
@@ -71,6 +74,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   double scale = 0.05;
   double timeout = 60.0;
+  std::uint32_t threads = 1;
   bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +117,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--timeout") {
       const std::string value = next_value();
       if (!missing_value) timeout = std::stod(value);
+    } else if (arg == "--threads") {
+      const std::string value = next_value();
+      if (!missing_value) {
+        threads = static_cast<std::uint32_t>(std::stoul(value));
+      }
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--list") {
@@ -169,7 +178,7 @@ int main(int argc, char** argv) {
             << "\n";
 
   WallTimer timer;
-  const MbbResult result = Solve(algorithm, g, timeout);
+  const MbbResult result = Solve(algorithm, g, timeout, threads);
   const double seconds = timer.Seconds();
 
   std::cout << "algorithm: " << algorithm << "\n"
@@ -188,10 +197,11 @@ int main(int argc, char** argv) {
               << " matching_prunes=" << s.matching_prunes
               << " reductions=" << s.reduction_removed << "+"
               << s.reduction_promoted << " poly_cases=" << s.poly_cases
-              << "\n       subgraphs total/pruned-size/pruned-deg/searched="
+              << "\n       subgraphs total/pruned-size/pruned-deg/searched/"
+                 "skipped="
               << s.subgraphs_total << "/" << s.subgraphs_pruned_size << "/"
               << s.subgraphs_pruned_degeneracy << "/"
-              << s.subgraphs_searched
+              << s.subgraphs_searched << "/" << s.subgraphs_skipped
               << " step=S" << s.terminated_step << "\n";
   }
   return 0;

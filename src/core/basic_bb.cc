@@ -100,8 +100,10 @@ class BasicBbSearcher {
   }
 
   bool LimitFired() {
-    if (limits_.ShouldStop(stats_.recursions)) {
+    const StopCause cause = limits_.CheckStop(stats_.recursions);
+    if (cause != StopCause::kNone) {
       stats_.timed_out = true;
+      if (stats_.stop_cause == StopCause::kNone) stats_.stop_cause = cause;
       return true;
     }
     return false;

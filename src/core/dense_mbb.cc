@@ -59,6 +59,7 @@ class DenseMbbSearcher {
       stats_.depth_sum += depth;
       stats_.max_depth = std::max<std::uint64_t>(stats_.max_depth, depth);
       if (LimitFired()) return true;
+      SyncSharedBound();
 
       // Reduction to fixpoint (Lemmas 1 and 2), interleaved with the
       // bounding condition and leaf detection.
@@ -189,6 +190,7 @@ class DenseMbbSearcher {
         if (outcome.improved) {
           best_ = outcome.best;
           best_size_ = best_.BalancedSize();
+          PublishSharedBound();
         }
         return false;
       }
@@ -253,12 +255,30 @@ class DenseMbbSearcher {
     if (candidate.BalancedSize() > best_size_) {
       best_size_ = candidate.BalancedSize();
       best_ = std::move(candidate);
+      PublishSharedBound();
+    }
+  }
+
+  /// Adopts a tighter incumbent found by a concurrent searcher. The local
+  /// `best_` biclique is not replaced — only its owner reports the global
+  /// winner — but every bound prune from here on uses the shared size.
+  void SyncSharedBound() {
+    if (options_.shared_bound == nullptr) return;
+    const std::uint32_t shared = options_.shared_bound->Load();
+    if (shared > best_size_) best_size_ = shared;
+  }
+
+  void PublishSharedBound() {
+    if (options_.shared_bound != nullptr) {
+      options_.shared_bound->RaiseTo(best_size_);
     }
   }
 
   bool LimitFired() {
-    if (options_.limits.ShouldStop(stats_.recursions)) {
+    const StopCause cause = options_.limits.CheckStop(stats_.recursions);
+    if (cause != StopCause::kNone) {
       stats_.timed_out = true;
+      if (stats_.stop_cause == StopCause::kNone) stats_.stop_cause = cause;
       return true;
     }
     return false;

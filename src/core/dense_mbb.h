@@ -27,6 +27,13 @@ struct DenseMbbOptions {
   /// the candidates' bipartite complement cannot reach 2(best+1). One of
   /// the "obvious prunings" §4.2 leaves unstated; see DESIGN.md.
   bool use_matching_bound = true;
+  /// When non-null, the searcher prunes against this shared incumbent in
+  /// addition to its own: the bound is re-read at every recursion entry and
+  /// raised whenever a better biclique is recorded, so concurrent searchers
+  /// (the parallel verifyMBB fan-out) tighten each other immediately. The
+  /// pointee must outlive the solve call; null (the default) keeps the
+  /// searcher fully self-contained.
+  SharedBound* shared_bound = nullptr;
   SearchLimits limits;
 };
 

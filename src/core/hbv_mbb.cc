@@ -88,6 +88,7 @@ MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
   VerifyOptions verify_options;
   verify_options.use_core_reduction = options.use_core_optimizations;
   verify_options.use_dense_search = options.use_dense_optimizations;
+  verify_options.num_threads = options.num_threads;
   verify_options.dense.limits = options.limits;
   VerifyOutcome verify =
       VerifyMbb(reduced, best_size, bridge.survivors, verify_options, &ctx);

@@ -34,6 +34,10 @@ struct HbvOptions {
   /// Total search order for the vertex-centred subgraphs (bd4/bd5 use
   /// degree / degeneracy).
   VertexOrderKind order = VertexOrderKind::kBidegeneracy;
+  /// Worker threads for step 3's survivor fan-out (see
+  /// `VerifyOptions::num_threads`): 1 = sequential, 0 = one per hardware
+  /// thread. Steps 1 and 2 are single scans and always run sequentially.
+  std::uint32_t num_threads = 1;
 
   GreedyOptions greedy;
   SearchLimits limits;

@@ -18,8 +18,10 @@ void SearchStats::Merge(const SearchStats& other) {
   subgraphs_pruned_size += other.subgraphs_pruned_size;
   subgraphs_pruned_degeneracy += other.subgraphs_pruned_degeneracy;
   subgraphs_searched += other.subgraphs_searched;
+  subgraphs_skipped += other.subgraphs_skipped;
   terminated_step = std::max(terminated_step, other.terminated_step);
   timed_out = timed_out || other.timed_out;
+  if (stop_cause == StopCause::kNone) stop_cause = other.stop_cause;
 }
 
 }  // namespace mbb

@@ -1,16 +1,90 @@
 #ifndef MBB_CORE_STATS_H_
 #define MBB_CORE_STATS_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <memory>
 
 #include "graph/biclique.h"
 
 namespace mbb {
 
+/// Why a cooperative limit check told a searcher to abort.
+enum class StopCause : std::uint8_t {
+  kNone = 0,
+  /// The wall-clock deadline passed.
+  kDeadline = 1,
+  /// `SearchLimits::max_recursions` was exceeded (per-search budget).
+  kRecursionCap = 2,
+  /// A shared stop token was tripped by another party (a sibling worker,
+  /// a watcher thread, or an external cancellation).
+  kExternal = 3,
+};
+
+/// Race-safe cancellation flag shared by concurrent searchers. One party
+/// requests a stop (typically the first worker to observe the deadline)
+/// and every searcher polling the same token aborts at its next limit
+/// check, so a fleet of parallel workers observes one consistent stop
+/// instead of each reading the clock on its own schedule.
+///
+/// All members are atomics; `RequestStop` publishes the cause before the
+/// flag (release) and `cause()` reads behind an acquire load, so a reader
+/// that sees the flag also sees why it was set. First cause wins.
+class StopToken {
+ public:
+  bool StopRequested() const {
+    return stopped_.load(std::memory_order_acquire);
+  }
+
+  void RequestStop(StopCause cause) {
+    std::uint8_t expected = 0;
+    cause_.compare_exchange_strong(expected, static_cast<std::uint8_t>(cause),
+                                   std::memory_order_relaxed);
+    stopped_.store(true, std::memory_order_release);
+  }
+
+  /// The first cause passed to `RequestStop`; kNone while not stopped.
+  StopCause cause() const {
+    if (!StopRequested()) return StopCause::kNone;
+    return static_cast<StopCause>(cause_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint8_t> cause_{0};
+};
+
+/// Monotone atomic balanced-size bound shared by concurrent searchers: a
+/// biclique found by one worker immediately tightens every other worker's
+/// pruning. Only the size crosses threads (the bicliques themselves stay
+/// worker-local until the final reduce), so relaxed ordering is sound —
+/// the bound is advisory and never decreases.
+class SharedBound {
+ public:
+  explicit SharedBound(std::uint32_t initial = 0) : value_(initial) {}
+
+  std::uint32_t Load() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Raises the bound to at least `candidate`; returns the resulting value
+  /// (which may exceed `candidate` if another worker got there first).
+  std::uint32_t RaiseTo(std::uint32_t candidate) {
+    std::uint32_t current = value_.load(std::memory_order_relaxed);
+    while (current < candidate &&
+           !value_.compare_exchange_weak(current, candidate,
+                                         std::memory_order_relaxed)) {
+    }
+    return current < candidate ? candidate : current;
+  }
+
+ private:
+  std::atomic<std::uint32_t> value_;
+};
+
 /// Resource limits shared by every exact searcher in the library. Searches
 /// poll the deadline cooperatively (every few thousand recursions), so
-/// overshoot is bounded and no threads are involved.
+/// overshoot is bounded; when several searches run concurrently they share
+/// a `StopToken` so one deadline observation stops the whole fleet.
 struct SearchLimits {
   /// Every searcher polls the wall-clock deadline once per
   /// `kDeadlinePollInterval` recursions (a power of two, so the check
@@ -24,6 +98,13 @@ struct SearchLimits {
   bool has_deadline = false;
   /// 0 means unlimited. Mainly used by tests for failure injection.
   std::uint64_t max_recursions = 0;
+  /// Optional shared stop token. When set, every limit check also observes
+  /// the token (a relaxed atomic load — checked on every call, not just at
+  /// poll boundaries, so a stop propagates promptly), and the first
+  /// searcher whose clock poll sees the deadline trips the token for
+  /// everyone sharing it. Null in the single-thread path, which keeps the
+  /// original `kDeadlinePollInterval` clock semantics unchanged.
+  std::shared_ptr<StopToken> stop_token;
 
   static SearchLimits None() { return {}; }
 
@@ -40,14 +121,31 @@ struct SearchLimits {
     return has_deadline && std::chrono::steady_clock::now() >= deadline;
   }
 
-  /// The shared cooperative limit check: true when the search must abort,
-  /// either because `recursions` exceeded `max_recursions` or because the
-  /// deadline passed (polled every `kDeadlinePollInterval` recursions).
+  /// The shared cooperative limit check with its cause: kNone while the
+  /// search may continue, otherwise why it must abort — `max_recursions`
+  /// exceeded, the shared stop token tripped, or the deadline passed
+  /// (polled every `kDeadlinePollInterval` recursions). Observing the
+  /// deadline trips the stop token (when present) so concurrent searchers
+  /// sharing it stop consistently.
+  StopCause CheckStop(std::uint64_t recursions) const {
+    if (max_recursions != 0 && recursions > max_recursions) {
+      return StopCause::kRecursionCap;
+    }
+    if (stop_token != nullptr && stop_token->StopRequested()) {
+      const StopCause cause = stop_token->cause();
+      return cause == StopCause::kNone ? StopCause::kExternal : cause;
+    }
+    if (has_deadline && (recursions & (kDeadlinePollInterval - 1)) == 1 &&
+        DeadlinePassed()) {
+      if (stop_token != nullptr) stop_token->RequestStop(StopCause::kDeadline);
+      return StopCause::kDeadline;
+    }
+    return StopCause::kNone;
+  }
+
+  /// Convenience form of `CheckStop` for callers that don't record causes.
   bool ShouldStop(std::uint64_t recursions) const {
-    if (max_recursions != 0 && recursions > max_recursions) return true;
-    return has_deadline &&
-           (recursions & (kDeadlinePollInterval - 1)) == 1 &&
-           DeadlinePassed();
+    return CheckStop(recursions) != StopCause::kNone;
   }
 };
 
@@ -70,11 +168,18 @@ struct SearchStats {
   std::uint64_t subgraphs_pruned_size = 0;
   std::uint64_t subgraphs_pruned_degeneracy = 0;
   std::uint64_t subgraphs_searched = 0;
+  /// Survivors verifyMBB never searched because a limit fired first; every
+  /// survivor lands in exactly one of pruned-size / pruned-degeneracy /
+  /// searched / skipped.
+  std::uint64_t subgraphs_skipped = 0;
   /// Which step of Algorithm 4 produced + certified the final answer
   /// (1 = heuristic/reduction, 2 = bridge, 3 = verification); 0 = n/a.
   int terminated_step = 0;
 
   bool timed_out = false;
+  /// The first limit that fired (kNone when none did); distinguishes a
+  /// wall-clock timeout from a recursion cap or an external stop.
+  StopCause stop_cause = StopCause::kNone;
 
   double AverageDepth() const {
     return recursions == 0

@@ -1,112 +1,261 @@
 #include "core/verify_mbb.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/basic_bb.h"
+#include "engine/parallel.h"
 #include "engine/search_context.h"
 #include "order/core_decomposition.h"
 
 namespace mbb {
+
+namespace {
+
+/// What processing one survivor produced. Each survivor is handled by
+/// exactly one worker, so these can be reduced after the join without
+/// synchronization.
+struct SurvivorResult {
+  bool exact = true;
+  /// Why the anchored search aborted when `!exact` (kNone otherwise).
+  StopCause stop_cause = StopCause::kNone;
+  /// Improvement found by the anchored search, in the reduced graph's ids;
+  /// `best_size == 0` means none.
+  Biclique best;
+  std::uint32_t best_size = 0;
+};
+
+/// Lines 2-5 of Algorithm 8 for one survivor: stale pruning, core
+/// reduction, and the anchored exhaustive search, all against the
+/// `best_size` snapshot. `dense_options` arrives with limits (and, in the
+/// parallel path, the shared bound) already installed; `stats` is the
+/// calling worker's shard.
+SurvivorResult ProcessSurvivor(const BipartiteGraph& reduced,
+                               const CenteredSubgraph& s,
+                               const VerifyOptions& options,
+                               const DenseMbbOptions& dense_options,
+                               std::uint32_t best_size, SearchContext& ctx,
+                               SearchStats& stats) {
+  SurvivorResult out;
+
+  // Stale pruning: the incumbent may have grown since step 2 (or, in the
+  // parallel path, since this survivor was enqueued).
+  if (std::min(s.same_side.size(), s.other_side.size()) <= best_size) {
+    ++stats.subgraphs_pruned_size;
+    return out;
+  }
+
+  // The subgraph is canonicalized so the centre is left-local 0: "left"
+  // is the centre's side.
+  std::vector<VertexId> center_side_vertices = s.same_side;
+  std::vector<VertexId> other_side_vertices = s.other_side;
+
+  if (options.use_core_reduction) {
+    // Line 2: reduce H to its (best_size+1)-core. Skip the subgraph
+    // entirely when the centre falls out — bicliques not containing the
+    // centre are covered by other centred subgraphs.
+    const std::vector<VertexId>* left_list = &center_side_vertices;
+    const std::vector<VertexId>* right_list = &other_side_vertices;
+    if (s.center_side == Side::kRight) std::swap(left_list, right_list);
+    const InducedSubgraph induced = reduced.Induce(*left_list, *right_list);
+    const CoreDecomposition cores = ComputeCores(induced.graph);
+    if (cores.degeneracy <= best_size) {
+      ++stats.subgraphs_pruned_degeneracy;
+      return out;
+    }
+    std::vector<VertexId> kept_left;
+    std::vector<VertexId> kept_right;
+    for (VertexId l = 0; l < induced.graph.num_left(); ++l) {
+      if (cores.core[induced.graph.GlobalIndex(Side::kLeft, l)] > best_size) {
+        kept_left.push_back(induced.left_to_old[l]);
+      }
+    }
+    for (VertexId r = 0; r < induced.graph.num_right(); ++r) {
+      if (cores.core[induced.graph.GlobalIndex(Side::kRight, r)] > best_size) {
+        kept_right.push_back(induced.right_to_old[r]);
+      }
+    }
+    if (s.center_side == Side::kRight) std::swap(kept_left, kept_right);
+    // kept_left is now on the centre's side again.
+    if (std::find(kept_left.begin(), kept_left.end(), s.same_side[0]) ==
+        kept_left.end()) {
+      ++stats.subgraphs_pruned_size;
+      return out;
+    }
+    // Keep the centre in front for the anchored search.
+    std::erase(kept_left, s.same_side[0]);
+    kept_left.insert(kept_left.begin(), s.same_side[0]);
+    center_side_vertices = std::move(kept_left);
+    other_side_vertices = std::move(kept_right);
+    if (std::min(center_side_vertices.size(), other_side_vertices.size()) <=
+        best_size) {
+      ++stats.subgraphs_pruned_size;
+      return out;
+    }
+  }
+
+  // Lines 3-5: anchored exhaustive search on the dense local copy.
+  const DenseSubgraph dense = DenseSubgraph::Build(
+      reduced, center_side_vertices, other_side_vertices, s.center_side);
+  ++stats.subgraphs_searched;
+
+  MbbResult result;
+  if (options.use_dense_search) {
+    result = DenseMbbSolveAnchored(dense, /*anchor=*/0, dense_options,
+                                   best_size, &ctx);
+  } else {
+    result = BasicBbSolveAnchored(dense, /*anchor=*/0, dense_options.limits,
+                                  best_size, &ctx);
+  }
+  stats.Merge(result.stats);
+  out.exact = result.exact;
+  if (!result.exact) out.stop_cause = result.stats.stop_cause;
+  if (result.best.BalancedSize() > best_size) {
+    out.best = dense.ToOriginal(result.best);
+    out.best_size = result.best.BalancedSize();
+  }
+  return out;
+}
+
+/// The original single-thread scan: one pooled context, one stats sink,
+/// strictly in survivor order.
+VerifyOutcome VerifySequential(const BipartiteGraph& reduced,
+                               std::uint32_t initial_best_size,
+                               std::span<const CenteredSubgraph> survivors,
+                               const VerifyOptions& options,
+                               SearchContext& ctx) {
+  VerifyOutcome out;
+  out.best_size = initial_best_size;
+  out.stats.terminated_step = 3;
+  const DenseMbbOptions& dense_options = options.dense;
+
+  for (std::size_t i = 0; i < survivors.size(); ++i) {
+    SurvivorResult result =
+        ProcessSurvivor(reduced, survivors[i], options, dense_options,
+                        out.best_size, ctx, out.stats);
+    if (result.best_size > out.best_size) {
+      out.best = std::move(result.best);
+      out.best_size = result.best_size;
+      out.improved = true;
+    }
+    if (!result.exact) {
+      out.exact = false;
+      // The limit cut the scan short: the remaining survivors were never
+      // searched. Count them so the accounting identity (total == pruned +
+      // searched + skipped) holds and the caller can see how much
+      // verification the timeout cost.
+      out.stats.subgraphs_skipped +=
+          static_cast<std::uint64_t>(survivors.size() - i - 1);
+      break;
+    }
+  }
+  return out;
+}
+
+/// The parallel fan-out: workers claim survivors from a shared counter,
+/// each with its own pooled context and stats shard, all pruning against
+/// one atomic incumbent and observing one stop token.
+VerifyOutcome VerifyParallel(const BipartiteGraph& reduced,
+                             std::uint32_t initial_best_size,
+                             std::span<const CenteredSubgraph> survivors,
+                             const VerifyOptions& options,
+                             std::size_t num_threads) {
+  VerifyOutcome out;
+  out.best_size = initial_best_size;
+  out.stats.terminated_step = 3;
+
+  SharedBound shared_bound(initial_best_size);
+  DenseMbbOptions dense_options = options.dense;
+  dense_options.shared_bound = &shared_bound;
+  if (dense_options.limits.stop_token == nullptr) {
+    // One token for the whole fleet: the first worker whose clock poll sees
+    // the deadline trips it, and every other worker aborts at its next
+    // limit check instead of discovering the deadline on its own schedule.
+    dense_options.limits.stop_token = std::make_shared<StopToken>();
+  }
+  const std::shared_ptr<StopToken>& stop = dense_options.limits.stop_token;
+
+  struct WorkerState {
+    SearchContext ctx;
+    SearchStats stats;
+    bool exact = true;
+  };
+  std::vector<WorkerState> workers(num_threads);
+  std::vector<SurvivorResult> results(survivors.size());
+
+  ParallelFor(num_threads, survivors.size(),
+              [&](std::size_t worker, std::size_t item) {
+                WorkerState& state = workers[worker];
+                if (stop->StopRequested()) {
+                  // Drain cheaply: claimed after the stop, never searched.
+                  ++state.stats.subgraphs_skipped;
+                  state.exact = false;
+                  return;
+                }
+                SurvivorResult result = ProcessSurvivor(
+                    reduced, survivors[item], options, dense_options,
+                    shared_bound.Load(), state.ctx, state.stats);
+                if (result.best_size > 0) {
+                  shared_bound.RaiseTo(result.best_size);
+                }
+                if (!result.exact) {
+                  state.exact = false;
+                  // Mirror the sequential early exit: the first inexact
+                  // search — whatever its cause — aborts the whole scan,
+                  // so a per-search recursion cap doesn't silently turn
+                  // into survivor-count-many capped searches. (Deadlines
+                  // already tripped the token inside the limit check.)
+                  stop->RequestStop(result.stop_cause == StopCause::kNone
+                                        ? StopCause::kExternal
+                                        : result.stop_cause);
+                }
+                results[item] = std::move(result);
+              });
+
+  for (WorkerState& state : workers) {
+    out.stats.Merge(state.stats);
+    if (!state.exact) out.exact = false;
+  }
+  if (out.stats.stop_cause == StopCause::kNone && stop->StopRequested()) {
+    out.stats.stop_cause = stop->cause();
+  }
+
+  // Reduce: the lowest-index recorded improvement at the global maximum
+  // wins. Which survivors record one depends on when their worker
+  // snapshotted the shared bound, so between equally-sized optima the
+  // reported biclique (never its size) may vary with interleaving.
+  for (SurvivorResult& result : results) {
+    if (result.best_size > out.best_size) {
+      out.best = std::move(result.best);
+      out.best_size = result.best_size;
+      out.improved = true;
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 VerifyOutcome VerifyMbb(const BipartiteGraph& reduced,
                         std::uint32_t initial_best_size,
                         std::span<const CenteredSubgraph> survivors,
                         const VerifyOptions& options,
                         SearchContext* context) {
+  const std::size_t num_threads =
+      EffectiveThreadCount(options.num_threads, survivors.size());
+  if (num_threads > 1) {
+    return VerifyParallel(reduced, initial_best_size, survivors, options,
+                          num_threads);
+  }
   // One pooled context serves every anchored search below: after the first
   // few subgraphs the branch frames stop allocating entirely.
   SearchContext transient;
   SearchContext& ctx = context != nullptr ? *context : transient;
-  VerifyOutcome out;
-  out.best_size = initial_best_size;
-  out.stats.terminated_step = 3;
-
-  for (const CenteredSubgraph& s : survivors) {
-    // Stale pruning: the incumbent may have grown since step 2.
-    if (std::min(s.same_side.size(), s.other_side.size()) <= out.best_size) {
-      ++out.stats.subgraphs_pruned_size;
-      continue;
-    }
-
-    // The subgraph is canonicalized so the centre is left-local 0: "left"
-    // is the centre's side.
-    std::vector<VertexId> center_side_vertices = s.same_side;
-    std::vector<VertexId> other_side_vertices = s.other_side;
-
-    if (options.use_core_reduction) {
-      // Line 2: reduce H to its (best_size+1)-core. Skip the subgraph
-      // entirely when the centre falls out — bicliques not containing the
-      // centre are covered by other centred subgraphs.
-      const std::vector<VertexId>* left_list = &center_side_vertices;
-      const std::vector<VertexId>* right_list = &other_side_vertices;
-      if (s.center_side == Side::kRight) std::swap(left_list, right_list);
-      const InducedSubgraph induced =
-          reduced.Induce(*left_list, *right_list);
-      const CoreDecomposition cores = ComputeCores(induced.graph);
-      if (cores.degeneracy <= out.best_size) {
-        ++out.stats.subgraphs_pruned_degeneracy;
-        continue;
-      }
-      std::vector<VertexId> kept_left;
-      std::vector<VertexId> kept_right;
-      for (VertexId l = 0; l < induced.graph.num_left(); ++l) {
-        if (cores.core[induced.graph.GlobalIndex(Side::kLeft, l)] >
-            out.best_size) {
-          kept_left.push_back(induced.left_to_old[l]);
-        }
-      }
-      for (VertexId r = 0; r < induced.graph.num_right(); ++r) {
-        if (cores.core[induced.graph.GlobalIndex(Side::kRight, r)] >
-            out.best_size) {
-          kept_right.push_back(induced.right_to_old[r]);
-        }
-      }
-      if (s.center_side == Side::kRight) std::swap(kept_left, kept_right);
-      // kept_left is now on the centre's side again.
-      if (std::find(kept_left.begin(), kept_left.end(), s.same_side[0]) ==
-          kept_left.end()) {
-        ++out.stats.subgraphs_pruned_size;
-        continue;
-      }
-      // Keep the centre in front for the anchored search.
-      std::erase(kept_left, s.same_side[0]);
-      kept_left.insert(kept_left.begin(), s.same_side[0]);
-      center_side_vertices = std::move(kept_left);
-      other_side_vertices = std::move(kept_right);
-      if (std::min(center_side_vertices.size(),
-                   other_side_vertices.size()) <= out.best_size) {
-        ++out.stats.subgraphs_pruned_size;
-        continue;
-      }
-    }
-
-    // Lines 3-5: anchored exhaustive search on the dense local copy.
-    const DenseSubgraph dense = DenseSubgraph::Build(
-        reduced, center_side_vertices, other_side_vertices, s.center_side);
-    ++out.stats.subgraphs_searched;
-
-    MbbResult result;
-    if (options.use_dense_search) {
-      DenseMbbOptions dense_options = options.dense;
-      result = DenseMbbSolveAnchored(dense, /*anchor=*/0, dense_options,
-                                     out.best_size, &ctx);
-    } else {
-      result = BasicBbSolveAnchored(dense, /*anchor=*/0,
-                                    options.dense.limits, out.best_size,
-                                    &ctx);
-    }
-    out.stats.Merge(result.stats);
-    if (!result.exact) {
-      out.exact = false;
-      break;
-    }
-    if (result.best.BalancedSize() > out.best_size) {
-      out.best = dense.ToOriginal(result.best);
-      out.best_size = result.best.BalancedSize();
-      out.improved = true;
-    }
-  }
-  return out;
+  return VerifySequential(reduced, initial_best_size, survivors, options,
+                          ctx);
 }
 
 }  // namespace mbb

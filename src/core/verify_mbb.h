@@ -20,6 +20,14 @@ struct VerifyOptions {
   /// false, the plain basicBB (Algorithm 1) runs instead — the bd3
   /// ablation ("without branching technique").
   bool use_dense_search = true;
+  /// Worker threads for the survivor fan-out: each surviving subgraph is an
+  /// independent anchored search, so step 3 is embarrassingly parallel.
+  /// Workers own a pooled `SearchContext` and a stats shard each, prune
+  /// against one shared atomic incumbent, and share one stop token so a
+  /// deadline stops the whole fleet consistently. 1 (the default) runs
+  /// sequentially in the caller's thread; 0 = one worker per hardware
+  /// thread.
+  std::uint32_t num_threads = 1;
   DenseMbbOptions dense;
 };
 
@@ -36,9 +44,17 @@ struct VerifyOutcome {
 
 /// Runs Algorithm 8: for every surviving vertex-centred subgraph, reduces
 /// it against the incumbent, then runs the anchored exhaustive search
-/// ("must contain the centre") with the incumbent as lower bound. All
-/// anchored searches share `context`'s pooled scratch (a transient context
-/// is used when nullptr).
+/// ("must contain the centre") with the incumbent as lower bound.
+/// Sequentially (`options.num_threads == 1`) all anchored searches share
+/// `context`'s pooled scratch (a transient context is used when nullptr);
+/// with more workers each owns its own context and `context` is unused.
+/// The first inexact anchored search — deadline, recursion cap, or
+/// external stop — aborts the whole scan in both paths; survivors cut off
+/// this way are counted in `stats.subgraphs_skipped` with the cause in
+/// `stats.stop_cause`. On runs no limit interrupts, the parallel path
+/// returns the same `best_size` as the sequential one (pruning against a
+/// tighter shared bound is sound), though the winning biclique itself may
+/// differ between equally-sized optima.
 VerifyOutcome VerifyMbb(const BipartiteGraph& reduced,
                         std::uint32_t initial_best_size,
                         std::span<const CenteredSubgraph> survivors,

@@ -1,0 +1,57 @@
+#include "engine/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mbb {
+
+std::size_t EffectiveThreadCount(std::size_t requested,
+                                 std::size_t num_items) {
+  std::size_t count = requested;
+  if (count == 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    count = hardware == 0 ? 1 : hardware;
+  }
+  if (count > num_items) count = num_items;
+  return count == 0 ? 1 : count;
+}
+
+void ParallelFor(std::size_t num_threads, std::size_t num_items,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (num_items == 0) return;
+  num_threads = EffectiveThreadCount(num_threads, num_items);
+  if (num_threads <= 1) {
+    for (std::size_t item = 0; item < num_items; ++item) fn(0, item);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  const auto work = [&](std::size_t worker) {
+    try {
+      while (true) {
+        const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
+        if (item >= num_items) return;
+        fn(worker, item);
+      }
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (std::size_t worker = 1; worker < num_threads; ++worker) {
+    threads.emplace_back(work, worker);
+  }
+  work(0);  // the caller is worker 0
+  for (std::thread& thread : threads) thread.join();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace mbb

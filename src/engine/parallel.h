@@ -1,0 +1,29 @@
+#ifndef MBB_ENGINE_PARALLEL_H_
+#define MBB_ENGINE_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace mbb {
+
+/// Number of workers actually used for `num_items` work items when the
+/// caller asked for `requested` threads (0 = one per hardware thread).
+/// Never more workers than items and never fewer than one.
+std::size_t EffectiveThreadCount(std::size_t requested, std::size_t num_items);
+
+/// Fans items `[0, num_items)` out over `num_threads` workers (clamped via
+/// `EffectiveThreadCount`) with dynamic scheduling: workers claim items from
+/// a shared atomic counter, so a run of cheap items never leaves a worker
+/// idle while a neighbour grinds through an expensive one. `fn(worker,
+/// item)` runs exactly once per item; `worker < num_threads` identifies the
+/// calling worker so per-worker state (scratch contexts, stats shards)
+/// needs no locking. With one effective worker everything runs inline on
+/// the caller — no threads are spawned. The first exception thrown by `fn`
+/// is rethrown on the caller after all workers have joined (that worker
+/// stops claiming items; the others drain the rest).
+void ParallelFor(std::size_t num_threads, std::size_t num_items,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace mbb
+
+#endif  // MBB_ENGINE_PARALLEL_H_

@@ -38,6 +38,12 @@ struct SolverOptions {
   /// `SolverRegistry::Solve` — the hook the eval/CLI layers use to
   /// aggregate statistics across runs.
   SearchStats* stats_sink = nullptr;
+  /// Worker threads for solvers with a parallel phase (currently the
+  /// sparse pipeline's verification fan-out in `hbv`/`auto`/`bd*`): 1 =
+  /// sequential, 0 = one per hardware thread. Single-search solvers
+  /// (`dense`, `basic`, the baselines) accept but ignore it — their result
+  /// is identical at any setting.
+  std::uint32_t num_threads = 1;
   /// Density threshold of the `auto` solver (denseMBB at or above it,
   /// hbvMBB below).
   double dense_threshold = 0.8;

@@ -89,6 +89,7 @@ class HbvSolver final : public NamedSolver<true> {
       hbv.greedy = options.hbv.greedy;
     }
     hbv.limits = options.Limits();
+    hbv.num_threads = options.num_threads;
     return HbvMbb(g, hbv);
   }
 
@@ -104,6 +105,7 @@ class AutoSolver final : public NamedSolver<true> {
                   const SolverOptions& options) const override {
     HbvOptions hbv = options.hbv;
     hbv.limits = options.Limits();
+    hbv.num_threads = options.num_threads;
     return FindMaximumBalancedBiclique(g, hbv, options.dense_threshold);
   }
 };

@@ -1,6 +1,10 @@
 #include "core/bridge_mbb.h"
 #include "core/verify_mbb.h"
 
+#include <algorithm>
+#include <span>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "baselines/brute_force.h"
@@ -125,6 +129,106 @@ TEST(VerifyMbb, DeadlinePropagates) {
   const VerifyOutcome out =
       VerifyMbb(g, bridge.best_size, bridge.survivors, options);
   EXPECT_FALSE(out.exact);
+}
+
+// Regression: the early exit on an inexact anchored search used to drop the
+// remaining survivors silently — no skipped count, no recorded cause.
+TEST(VerifyMbb, TimeLimitCountsSkippedSurvivorsAndCause) {
+  const BipartiteGraph g = testing::RandomGraph(14, 14, 0.5, 9);
+  // No local heuristic: keep a long survivor list so the limit actually
+  // cuts the scan short.
+  BridgeOptions bridge_options;
+  bridge_options.use_local_heuristic = false;
+  const BridgeOutcome bridge = BridgeMbb(g, 0, bridge_options);
+  ASSERT_GE(bridge.survivors.size(), 2u);
+  VerifyOptions options;
+  options.dense.limits = SearchLimits::FromSeconds(-1.0);
+  const VerifyOutcome out =
+      VerifyMbb(g, bridge.best_size, bridge.survivors, options);
+  EXPECT_FALSE(out.exact);
+  EXPECT_TRUE(out.stats.timed_out);
+  EXPECT_EQ(out.stats.stop_cause, StopCause::kDeadline);
+  EXPECT_GT(out.stats.subgraphs_skipped, 0u);
+  // Every survivor lands in exactly one bucket.
+  EXPECT_EQ(out.stats.subgraphs_pruned_size +
+                out.stats.subgraphs_pruned_degeneracy +
+                out.stats.subgraphs_searched + out.stats.subgraphs_skipped,
+            bridge.survivors.size());
+}
+
+TEST(VerifyMbb, RecursionCapRecordsItsOwnCause) {
+  const BipartiteGraph g = testing::RandomGraph(14, 14, 0.5, 9);
+  BridgeOptions bridge_options;
+  bridge_options.use_local_heuristic = false;
+  const BridgeOutcome bridge = BridgeMbb(g, 0, bridge_options);
+  ASSERT_FALSE(bridge.survivors.empty());
+  VerifyOptions options;
+  options.dense.limits.max_recursions = 1;
+  const VerifyOutcome out =
+      VerifyMbb(g, bridge.best_size, bridge.survivors, options);
+  ASSERT_FALSE(out.exact);
+  EXPECT_EQ(out.stats.stop_cause, StopCause::kRecursionCap);
+}
+
+/// Fixture graph for the right-centred core-reduction tests: left 0..2 and
+/// right 2..4 form K(3,3); right 0 and right 1 are pendants attached to
+/// left 0 and left 1. Right-side ids overlap left-side ids only below 3,
+/// so a swap bug that looks the centre up in the wrong side's keeper list
+/// cannot find ids 3 or 4 and shows up as a wrongly pruned survivor.
+BipartiteGraph RightCentredFixture() {
+  std::vector<Edge> edges = {{0, 0}, {1, 1}};
+  for (VertexId l = 0; l < 3; ++l) {
+    for (VertexId r = 2; r < 5; ++r) edges.emplace_back(l, r);
+  }
+  return BipartiteGraph::FromEdges(3, 5, std::move(edges));
+}
+
+// Pins the double-swap in the core-reduction path for a right-centred
+// survivor whose centre survives the (best+1)-core: the centre (right 4,
+// an id that does not exist on the left side) must be re-found on the
+// centre's side after the kept lists are swapped back.
+TEST(VerifyMbb, RightCentredSurvivorCentreSurvivesReduction) {
+  const BipartiteGraph g = RightCentredFixture();
+  CenteredSubgraph survivor;
+  survivor.center_side = Side::kRight;
+  survivor.center_global = g.GlobalIndex(Side::kRight, 4);
+  survivor.same_side = {4, 2, 3};     // right-local, centre first
+  survivor.other_side = {0, 1, 2};    // left-local
+  VerifyOptions options;
+  ASSERT_TRUE(options.use_core_reduction);
+  const VerifyOutcome out =
+      VerifyMbb(g, 1, std::span<const CenteredSubgraph>(&survivor, 1),
+                options);
+  EXPECT_TRUE(out.exact);
+  EXPECT_TRUE(out.improved);
+  EXPECT_EQ(out.best_size, 3u);  // the K(3,3), which contains the centre
+  EXPECT_TRUE(out.best.IsBicliqueIn(g));
+  EXPECT_NE(std::find(out.best.right.begin(), out.best.right.end(),
+                      VertexId{4}),
+            out.best.right.end());
+  EXPECT_EQ(out.stats.subgraphs_searched, 1u);
+}
+
+// ... and one where the centre falls out of the core: the pendant centre
+// (right 0, degree 1) cannot sit in a 2-core, so the survivor must be
+// pruned — NOT searched without its centre, which would steal a biclique
+// that belongs to another centred subgraph.
+TEST(VerifyMbb, RightCentredSurvivorCentreDropsOutOfCore) {
+  const BipartiteGraph g = RightCentredFixture();
+  CenteredSubgraph survivor;
+  survivor.center_side = Side::kRight;
+  survivor.center_global = g.GlobalIndex(Side::kRight, 0);
+  survivor.same_side = {0, 2, 3, 4};  // pendant centre first
+  survivor.other_side = {0, 1, 2};
+  VerifyOptions options;
+  const VerifyOutcome out =
+      VerifyMbb(g, 1, std::span<const CenteredSubgraph>(&survivor, 1),
+                options);
+  EXPECT_TRUE(out.exact);
+  EXPECT_FALSE(out.improved);
+  EXPECT_EQ(out.best_size, 1u);
+  EXPECT_EQ(out.stats.subgraphs_searched, 0u);
+  EXPECT_EQ(out.stats.subgraphs_pruned_size, 1u);
 }
 
 }  // namespace

@@ -39,6 +39,22 @@ TEST(SearchStats, MergeAccumulatesCounters) {
   EXPECT_EQ(a.subgraphs_total, 11u);
 }
 
+TEST(SearchStats, MergeSumsSkippedAndKeepsFirstStopCause) {
+  SearchStats a;
+  a.subgraphs_skipped = 2;
+  a.stop_cause = StopCause::kDeadline;
+  SearchStats b;
+  b.subgraphs_skipped = 3;
+  b.stop_cause = StopCause::kRecursionCap;
+  a.Merge(b);
+  EXPECT_EQ(a.subgraphs_skipped, 5u);
+  EXPECT_EQ(a.stop_cause, StopCause::kDeadline);  // first cause wins
+
+  SearchStats c;  // a cause merges into a still-clean sink
+  c.Merge(b);
+  EXPECT_EQ(c.stop_cause, StopCause::kRecursionCap);
+}
+
 TEST(SearchStats, AverageDepth) {
   SearchStats s;
   EXPECT_DOUBLE_EQ(s.AverageDepth(), 0.0);  // no division by zero
@@ -57,6 +73,50 @@ TEST(SearchLimits, NoneNeverFires) {
 TEST(SearchLimits, FromSecondsFuturePastSemantics) {
   EXPECT_FALSE(SearchLimits::FromSeconds(60.0).DeadlinePassed());
   EXPECT_TRUE(SearchLimits::FromSeconds(-0.001).DeadlinePassed());
+}
+
+TEST(SearchLimits, CheckStopReportsRecursionCap) {
+  SearchLimits limits;
+  limits.max_recursions = 10;
+  EXPECT_EQ(limits.CheckStop(10), StopCause::kNone);
+  EXPECT_EQ(limits.CheckStop(11), StopCause::kRecursionCap);
+}
+
+TEST(SearchLimits, ExternalStopTokenFiresOffPollBoundary) {
+  SearchLimits limits;
+  limits.stop_token = std::make_shared<StopToken>();
+  // The clock is only read at poll boundaries, but a tripped token must be
+  // observed on every check — that is what makes the parallel stop prompt.
+  EXPECT_EQ(limits.CheckStop(5), StopCause::kNone);
+  limits.stop_token->RequestStop(StopCause::kExternal);
+  EXPECT_EQ(limits.CheckStop(5), StopCause::kExternal);
+  EXPECT_TRUE(limits.ShouldStop(5));
+}
+
+TEST(SearchLimits, DeadlineObservationTripsTheSharedToken) {
+  SearchLimits limits = SearchLimits::FromSeconds(-1.0);
+  limits.stop_token = std::make_shared<StopToken>();
+  // Off the poll boundary the clock is not read, token still clean.
+  EXPECT_EQ(limits.CheckStop(2), StopCause::kNone);
+  // On the boundary the deadline is observed and broadcast.
+  EXPECT_EQ(limits.CheckStop(1), StopCause::kDeadline);
+  EXPECT_TRUE(limits.stop_token->StopRequested());
+  EXPECT_EQ(limits.stop_token->cause(), StopCause::kDeadline);
+
+  // A sibling sharing the token (no deadline of its own) stops too, at any
+  // recursion count.
+  SearchLimits sibling;
+  sibling.stop_token = limits.stop_token;
+  EXPECT_EQ(sibling.CheckStop(7), StopCause::kDeadline);
+}
+
+TEST(SearchLimits, SingleThreadPollIntervalSemanticsUnchanged) {
+  // Without a token, a passed deadline is only noticed at poll boundaries
+  // (recursions ≡ 1 mod kDeadlinePollInterval) — the original contract.
+  const SearchLimits limits = SearchLimits::FromSeconds(-1.0);
+  EXPECT_FALSE(limits.ShouldStop(2));
+  EXPECT_TRUE(limits.ShouldStop(1));
+  EXPECT_TRUE(limits.ShouldStop(SearchLimits::kDeadlinePollInterval + 1));
 }
 
 TEST(MbbResult, DefaultIsExactAndEmpty) {
