@@ -1,0 +1,117 @@
+/// Shared main() for the bench_micro_* binaries: runs Google Benchmark
+/// with the normal console output, then appends one machine-readable
+/// record per benchmark to a JSON Lines file so the perf trajectory can be
+/// tracked across PRs instead of eyeballed.
+///
+/// Output file: $MBB_BENCH_JSON, defaulting to BENCH_micro.json in the
+/// working directory. The file is opened in append mode — each line is a
+/// self-describing JSON object ({"binary", "benchmark", "words",
+/// "ns_per_op", "dispatch"}) — so several binaries
+/// (and scalar/SIMD passes of the same binary, via MBB_FORCE_SCALAR=1 or
+/// --force_scalar) can record into one file. Start a fresh measurement
+/// with `rm -f BENCH_micro.json`.
+///
+/// "dispatch" is the benchmark's report label when set (the kernel
+/// benchmarks label each run with the backend they pin), otherwise the
+/// dispatch path active while the binary ran.
+
+#ifndef MBB_BENCH_BENCH_JSON_H_
+#define MBB_BENCH_BENCH_JSON_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "graph/bit_ops.h"
+
+namespace mbb::benchjson {
+
+struct Entry {
+  std::string name;
+  double words = 0;
+  double ns_per_op = 0;
+  std::string dispatch;
+};
+
+/// Console output plus entry collection for the JSON Lines dump.
+class JsonLinesReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      Entry e;
+      e.name = run.benchmark_name();
+      const auto words = run.counters.find("words");
+      if (words != run.counters.end()) e.words = words->second.value;
+      if (run.iterations > 0) {
+        e.ns_per_op = run.real_accumulated_time /
+                      static_cast<double>(run.iterations) * 1e9;
+      }
+      e.dispatch = run.report_label.empty() ? bitops::ActiveDispatchName()
+                                            : run.report_label;
+      entries_.push_back(std::move(e));
+    }
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Appends the collected entries to `path` as JSON Lines.
+inline void WriteJsonLines(const std::string& path, const char* binary,
+                           const std::vector<Entry>& entries) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  const char* base = std::strrchr(binary, '/');
+  const std::string binary_name = base != nullptr ? base + 1 : binary;
+  out.precision(6);
+  out << std::fixed;
+  for (const Entry& e : entries) {
+    out << "{\"binary\": \"" << binary_name << "\", \"benchmark\": \""
+        << e.name << "\", \"words\": " << static_cast<long long>(e.words)
+        << ", \"ns_per_op\": " << e.ns_per_op
+        << ", \"dispatch\": \"" << e.dispatch << "\"}\n";
+  }
+}
+
+/// Drop-in main(): honours --force_scalar (or MBB_FORCE_SCALAR=1) so one
+/// binary can record both dispatch paths.
+inline int BenchmarkMainWithJson(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  for (auto it = args.begin(); it != args.end();) {
+    if (std::strcmp(*it, "--force_scalar") == 0) {
+      bitops::SetDispatchPolicy(bitops::DispatchPolicy::kForceScalar);
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  JsonLinesReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  const char* path = std::getenv("MBB_BENCH_JSON");
+  WriteJsonLines(path != nullptr ? path : "BENCH_micro.json", argv[0],
+                 reporter.entries());
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace mbb::benchjson
+
+#define MBB_BENCHMARK_MAIN_WITH_JSON()                        \
+  int main(int argc, char** argv) {                           \
+    return mbb::benchjson::BenchmarkMainWithJson(argc, argv); \
+  }
+
+#endif  // MBB_BENCH_BENCH_JSON_H_

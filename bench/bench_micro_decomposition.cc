@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "graph/generators.h"
 #include "order/bicore_decomposition.h"
 #include "order/core_decomposition.h"
@@ -85,3 +86,5 @@ void BM_CenteredStats(benchmark::State& state) {
 BENCHMARK(BM_CenteredStats);
 
 }  // namespace
+
+MBB_BENCHMARK_MAIN_WITH_JSON()

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "baselines/ext_bbclq.h"
 #include "core/basic_bb.h"
 #include "core/dense_mbb.h"
@@ -143,3 +144,5 @@ void BM_ExtBbclqSparse(benchmark::State& state) {
 BENCHMARK(BM_ExtBbclqSparse)->Arg(1024);
 
 }  // namespace
+
+MBB_BENCHMARK_MAIN_WITH_JSON()

@@ -1,11 +1,18 @@
-/// Substrate microbenchmarks: bitset kernels, graph construction, dense
-/// subgraph extraction, generators.
+/// Substrate microbenchmarks: bit_ops kernels (scalar vs dispatched SIMD),
+/// BitMatrix arena locality, bitset ops, graph construction, dense
+/// subgraph extraction, generators. Results are appended to
+/// BENCH_micro.json (see bench_json.h); run once as-is and once with
+/// --force_scalar to record both dispatch paths.
 
 #include <numeric>
+#include <random>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "graph/bipartite_graph.h"
+#include "graph/bit_matrix.h"
+#include "graph/bit_ops.h"
 #include "graph/bitset.h"
 #include "graph/dense_subgraph.h"
 #include "graph/generators.h"
@@ -13,6 +20,187 @@
 namespace {
 
 using namespace mbb;
+
+/// Two rows of random words at the benchmark size, plus a destination row,
+/// all cache-line aligned in one BitMatrix arena.
+struct KernelFixture {
+  explicit KernelFixture(std::size_t bits) : arena(3, bits) {
+    std::mt19937_64 rng(17);
+    for (std::size_t r = 0; r < 2; ++r) {
+      BitRow row = arena.Row(r);
+      for (std::size_t i = 0; i < bits; ++i) {
+        if (rng() & 1) row.Set(i);
+      }
+    }
+    words = BitWords(bits);
+  }
+  BitMatrix arena;
+  std::size_t words = 0;
+
+  const std::uint64_t* a() const { return arena.RowWords(0); }
+  const std::uint64_t* b() const { return arena.RowWords(1); }
+  std::uint64_t* dst() { return arena.RowWords(2); }
+};
+
+// ---------------------------------------------------------------------------
+// Kernel benchmarks. Each reports counters["words"] and labels the run
+// with the backend it pins, so the JSON lines carry (kernel, words,
+// ns/op, dispatch path). One templated body per kernel shape; the
+// BM_Kernel<Name> / BM_Kernel<Name>Scalar pairs differ only in the kernel
+// pointer and label they instantiate with.
+// ---------------------------------------------------------------------------
+
+using CountKernel = std::size_t (*)(const std::uint64_t*, std::size_t);
+using Count2Kernel = std::size_t (*)(const std::uint64_t*,
+                                     const std::uint64_t*, std::size_t);
+using IntoKernel = void (*)(std::uint64_t*, const std::uint64_t*,
+                            const std::uint64_t*, std::size_t);
+using CountIntoKernel = std::size_t (*)(std::uint64_t*, const std::uint64_t*,
+                                        const std::uint64_t*, std::size_t);
+
+void FinishKernelRun(benchmark::State& state, std::size_t words,
+                     const char* label) {
+  state.counters["words"] = static_cast<double>(words);
+  state.SetLabel(label);
+}
+
+template <CountKernel kKernel>
+void BM_CountShape(benchmark::State& state, const char* label) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kKernel(f.a(), f.words));
+  }
+  FinishKernelRun(state, f.words, label);
+}
+
+template <Count2Kernel kKernel>
+void BM_Count2Shape(benchmark::State& state, const char* label) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kKernel(f.a(), f.b(), f.words));
+  }
+  FinishKernelRun(state, f.words, label);
+}
+
+template <IntoKernel kKernel>
+void BM_IntoShape(benchmark::State& state, const char* label) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    kKernel(f.dst(), f.a(), f.b(), f.words);
+    benchmark::DoNotOptimize(f.dst());
+  }
+  FinishKernelRun(state, f.words, label);
+}
+
+template <CountIntoKernel kKernel>
+void BM_CountIntoShape(benchmark::State& state, const char* label) {
+  KernelFixture f(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kKernel(f.dst(), f.a(), f.b(), f.words));
+  }
+  FinishKernelRun(state, f.words, label);
+}
+
+const char* Dispatched() { return bitops::ActiveDispatchName(); }
+
+#define MBB_KERNEL_BENCH(name, shape, scalar_fn, dispatch_fn)             \
+  void BM_Kernel##name##Scalar(benchmark::State& state) {                 \
+    shape<scalar_fn>(state, "scalar");                                    \
+  }                                                                       \
+  void BM_Kernel##name(benchmark::State& state) {                         \
+    shape<dispatch_fn>(state, Dispatched());                              \
+  }
+
+MBB_KERNEL_BENCH(CountAnd, BM_Count2Shape, bitops::scalar::CountAnd,
+                 bitops::CountAnd)
+MBB_KERNEL_BENCH(AndCountInto, BM_CountIntoShape,
+                 bitops::scalar::AndCountInto, bitops::AndCountInto)
+MBB_KERNEL_BENCH(Count, BM_CountShape, bitops::scalar::Count, bitops::Count)
+MBB_KERNEL_BENCH(CountAndNot, BM_Count2Shape, bitops::scalar::CountAndNot,
+                 bitops::CountAndNot)
+MBB_KERNEL_BENCH(AndInto, BM_IntoShape, bitops::scalar::AndInto,
+                 bitops::AndInto)
+
+BENCHMARK(BM_KernelCountAndScalar)->Arg(256)->Arg(512)->Arg(2048)->Arg(16384);
+BENCHMARK(BM_KernelCountAnd)->Arg(256)->Arg(512)->Arg(2048)->Arg(16384);
+BENCHMARK(BM_KernelAndCountIntoScalar)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(16384);
+BENCHMARK(BM_KernelAndCountInto)->Arg(256)->Arg(512)->Arg(2048)->Arg(16384);
+BENCHMARK(BM_KernelCountScalar)->Arg(256)->Arg(2048)->Arg(16384);
+BENCHMARK(BM_KernelCount)->Arg(256)->Arg(2048)->Arg(16384);
+BENCHMARK(BM_KernelCountAndNotScalar)->Arg(256)->Arg(2048);
+BENCHMARK(BM_KernelCountAndNot)->Arg(256)->Arg(2048);
+BENCHMARK(BM_KernelAndIntoScalar)->Arg(256)->Arg(2048);
+BENCHMARK(BM_KernelAndInto)->Arg(256)->Arg(2048);
+
+// ---------------------------------------------------------------------------
+// Arena locality: sweeping CountAnd over all rows of a BitMatrix
+// (contiguous, fixed stride) vs a std::vector<Bitset> (per-row heap
+// allocations). Same bit content, same kernels — the gap is layout.
+// ---------------------------------------------------------------------------
+
+void BM_RowSweepBitMatrix(benchmark::State& state) {
+  const std::size_t rows = 256;
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BitMatrix m(rows, bits);
+  std::mt19937_64 rng(23);
+  for (std::size_t r = 0; r < rows; ++r) {
+    BitRow row = m.Row(r);
+    for (std::size_t i = 0; i < bits; i += 1 + rng() % 4) row.Set(i);
+  }
+  Bitset mask(bits);
+  for (std::size_t i = 0; i < bits; i += 2) mask.Set(i);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      total += m.Row(r).CountAnd(mask);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["words"] = static_cast<double>(BitWords(bits));
+  state.SetLabel(bitops::ActiveDispatchName());
+}
+BENCHMARK(BM_RowSweepBitMatrix)->Arg(256)->Arg(2048);
+
+void BM_RowSweepScatteredBitsets(benchmark::State& state) {
+  const std::size_t rows = 256;
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  std::mt19937_64 rng(23);
+  // Allocate rows one by one with live interleaved padding allocations of
+  // random size, so the rows genuinely scatter across the heap instead of
+  // landing back-to-back (which would replicate the arena layout and void
+  // the comparison).
+  std::vector<Bitset> m;
+  std::vector<std::vector<std::uint64_t>> padding;
+  m.reserve(rows);
+  padding.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    m.emplace_back(bits);
+    padding.emplace_back(1 + rng() % 64, r);
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < bits; i += 1 + rng() % 4) m[r].Set(i);
+  }
+  Bitset mask(bits);
+  for (std::size_t i = 0; i < bits; i += 2) mask.Set(i);
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      total += m[r].CountAnd(mask);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["words"] = static_cast<double>(BitWords(bits));
+  state.SetLabel(bitops::ActiveDispatchName());
+}
+BENCHMARK(BM_RowSweepScatteredBitsets)->Arg(256)->Arg(2048);
+
+// ---------------------------------------------------------------------------
+// Pre-existing substrate benchmarks.
+// ---------------------------------------------------------------------------
 
 void BM_BitsetAnd(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
@@ -114,3 +302,5 @@ void BM_HasEdge(benchmark::State& state) {
 BENCHMARK(BM_HasEdge);
 
 }  // namespace
+
+MBB_BENCHMARK_MAIN_WITH_JSON()

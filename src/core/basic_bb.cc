@@ -22,7 +22,9 @@ class BasicBbSearcher {
                 SearchContext::BranchFrame& root, bool a_is_left) {
     a_ = std::move(a);
     b_ = std::move(b);
-    Rec(root.ca, root.cb, a_is_left, /*depth=*/0, /*level=*/0);
+    Rec(root.ca, root.cb, static_cast<std::uint32_t>(root.ca.Count()),
+        static_cast<std::uint32_t>(root.cb.Count()), a_is_left, /*depth=*/0,
+        /*level=*/0);
     MbbResult out;
     out.best = std::move(best_);
     out.best.MakeBalanced();
@@ -33,10 +35,13 @@ class BasicBbSearcher {
 
  private:
   // Returns true when the search must abort (limit fired). `ca`/`cb`
-  // alias the pooled frame for `level`; the exclusion branch (line 8) is
-  // the tail loop, so only inclusions recurse — and they draw the child's
-  // candidate sets from the next pooled frame instead of allocating.
-  bool Rec(Bitset& ca, Bitset& cb, bool a_is_left, std::uint32_t depth,
+  // alias the pooled frame for `level` and `ca_count`/`cb_count` carry
+  // their popcounts (maintained incrementally — the bounding step never
+  // re-counts). The exclusion branch (line 8) is the tail loop, so only
+  // inclusions recurse — and they build the child's candidate sets in the
+  // next pooled frame with one fused intersect-and-count sweep.
+  bool Rec(BitRow& ca, BitRow& cb, std::uint32_t ca_count,
+           std::uint32_t cb_count, bool a_is_left, std::uint32_t depth,
            std::size_t level) {
     while (true) {
       ++stats_.recursions;
@@ -46,7 +51,7 @@ class BasicBbSearcher {
 
       // Bounding (line 1).
       const std::uint32_t ub = static_cast<std::uint32_t>(
-          std::min(a_.size() + ca.Count(), b_.size() + cb.Count()));
+          std::min(a_.size() + ca_count, b_.size() + cb_count));
       if (ub <= best_size_) {
         ++stats_.bound_prunes;
         return false;
@@ -55,8 +60,7 @@ class BasicBbSearcher {
       // Maximality check (lines 2-5): the expanded role has no candidates
       // left. By the alternation invariant |b_| >= |a_|, so min(...) ==
       // |a_|.
-      const int u = ca.FindFirst();
-      if (u < 0) {
+      if (ca_count == 0) {
         ++stats_.leaves;
         const std::uint32_t size = static_cast<std::uint32_t>(
             std::min(a_.size(), b_.size()));
@@ -66,20 +70,23 @@ class BasicBbSearcher {
         }
         return false;
       }
+      const int u = ca.FindFirst();
 
       // Branch 1 (line 7): include u, swap roles. The swapped candidate
-      // sets are built in the child's pooled frame (word copies into
-      // retained capacity).
+      // sets are built in the child's pooled frame; the intersection with
+      // N(u) and its popcount happen in one fused sweep.
       {
         SearchContext::BranchFrame& child = ctx_.Frame(level + 1);
-        child.ca = cb;
-        child.ca &= g_.Row(a_is_left ? Side::kLeft : Side::kRight,
-                           static_cast<VertexId>(u));
-        child.cb = ca;
+        const std::uint32_t child_ca_count =
+            static_cast<std::uint32_t>(child.ca.AssignAndCount(
+                cb, g_.Row(a_is_left ? Side::kLeft : Side::kRight,
+                           static_cast<VertexId>(u))));
+        child.cb.CopyFrom(ca);
         child.cb.Reset(static_cast<std::size_t>(u));
         a_.push_back(static_cast<VertexId>(u));
         std::swap(a_, b_);
-        if (Rec(child.ca, child.cb, !a_is_left, depth + 1, level + 1)) {
+        if (Rec(child.ca, child.cb, child_ca_count, ca_count - 1, !a_is_left,
+                depth + 1, level + 1)) {
           return true;
         }
         std::swap(a_, b_);
@@ -88,6 +95,7 @@ class BasicBbSearcher {
 
       // Branch 2 (line 8): exclude u, keep roles — continue in this frame.
       ca.Reset(static_cast<std::size_t>(u));
+      --ca_count;
       ++depth;
     }
   }
@@ -125,6 +133,7 @@ MbbResult BasicBbSolve(const DenseSubgraph& g, const SearchLimits& limits,
                        std::uint32_t initial_best, SearchContext* context) {
   SearchContext transient;
   SearchContext& ctx = context != nullptr ? *context : transient;
+  ctx.PrepareFrames(std::max(g.num_left(), g.num_right()));
   BasicBbSearcher searcher(g, limits, initial_best, ctx);
   SearchContext::BranchFrame& root = ctx.Frame(0);
   root.ca.Resize(g.num_left());
@@ -140,12 +149,13 @@ MbbResult BasicBbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
                                SearchContext* context) {
   SearchContext transient;
   SearchContext& ctx = context != nullptr ? *context : transient;
+  ctx.PrepareFrames(std::max(g.num_left(), g.num_right()));
   BasicBbSearcher searcher(g, limits, initial_best, ctx);
   // State after "including" the anchor: the roles have swapped, so the
   // expanding a-role is now the right side with candidates N(anchor), and
   // the b-role is the left side holding the anchor.
   SearchContext::BranchFrame& root = ctx.Frame(0);
-  root.ca = g.LeftRow(anchor);
+  root.ca.CopyFrom(g.LeftRow(anchor));
   root.cb.Resize(g.num_left());
   root.cb.SetAll();
   root.cb.Reset(anchor);

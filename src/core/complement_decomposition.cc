@@ -153,8 +153,7 @@ std::vector<ParetoPoint> ParetoFilter(std::vector<ParetoPoint> points) {
 }
 
 ComplementDecomposition DecomposeComplement(const DenseSubgraph& g,
-                                            const Bitset& ca,
-                                            const Bitset& cb) {
+                                            BitSpan ca, BitSpan cb) {
   ComplementDecomposition out;
   const std::vector<std::uint32_t> left = ca.ToVector();
   const std::vector<std::uint32_t> right = cb.ToVector();
@@ -171,8 +170,12 @@ ComplementDecomposition DecomposeComplement(const DenseSubgraph& g,
     right_index[right[j]] = static_cast<std::int32_t>(j);
   }
 
+  // One pooled difference bitset for the whole scan; the fused and-not
+  // kernel replaces the copy-then-clear two-pass (and its per-vertex heap
+  // allocation) the loop used to do.
+  Bitset missing;
   for (std::size_t i = 0; i < left.size(); ++i) {
-    Bitset missing = Bitset::AndNot(cb, g.LeftRow(left[i]));
+    missing.AssignAndNot(cb, g.LeftRow(left[i]));
     const std::size_t miss_count = missing.Count();
     if (miss_count == 0) {
       out.full_left.push_back(left[i]);

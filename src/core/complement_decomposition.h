@@ -45,10 +45,10 @@ struct ComplementDecomposition {
 };
 
 /// Builds the complement decomposition of the subgraph of `g` induced by
-/// candidate sets `ca` (left-local) x `cb` (right-local).
+/// candidate sets `ca` (left-local) x `cb` (right-local), given as bitset
+/// views (a `Bitset`, `BitRow`, or `BitMatrix` row all convert).
 ComplementDecomposition DecomposeComplement(const DenseSubgraph& g,
-                                            const Bitset& ca,
-                                            const Bitset& cb);
+                                            BitSpan ca, BitSpan cb);
 
 /// An achievable "(a, b) biclique instance" of a component: `first` left
 /// vertices and `second` right vertices forming an independent set of the

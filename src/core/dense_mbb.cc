@@ -35,7 +35,9 @@ class DenseMbbSearcher {
                 SearchContext::BranchFrame& root) {
     a_ = std::move(a);
     b_ = std::move(b);
-    Rec(root.ca, root.cb, /*depth=*/0, /*level=*/0);
+    Rec(root.ca, root.cb, static_cast<std::uint32_t>(root.ca.Count()),
+        static_cast<std::uint32_t>(root.cb.Count()), /*depth=*/0,
+        /*level=*/0);
     MbbResult out;
     out.best = std::move(best_);
     out.best.MakeBalanced();
@@ -48,9 +50,14 @@ class DenseMbbSearcher {
   // Returns true when the search must abort (limit fired). The exclusion
   // branch is a tail loop so stack depth only grows on inclusions. `ca`
   // and `cb` alias this level's pooled frame and are mutated in place;
-  // `level` is the recursion nesting level (± the tail loop, so it lags
-  // `depth`), which indexes the context's frame pool.
-  bool Rec(Bitset& ca, Bitset& cb, std::uint32_t depth, std::size_t level) {
+  // `ca_count`/`cb_count` are their popcounts, threaded through the
+  // recursion (the reduction loop maintains them and the fused
+  // and-with-count kernel refreshes them on inclusion, so no branch node
+  // ever re-counts a candidate set from scratch). `level` is the
+  // recursion nesting level (± the tail loop, so it lags `depth`), which
+  // indexes the context's frame pool.
+  bool Rec(BitRow& ca, BitRow& cb, std::uint32_t ca_count,
+           std::uint32_t cb_count, std::uint32_t depth, std::size_t level) {
     SizeGuard guard_a(a_);
     SizeGuard guard_b(b_);
 
@@ -63,8 +70,6 @@ class DenseMbbSearcher {
 
       // Reduction to fixpoint (Lemmas 1 and 2), interleaved with the
       // bounding condition and leaf detection.
-      std::uint32_t ca_count = static_cast<std::uint32_t>(ca.Count());
-      std::uint32_t cb_count = static_cast<std::uint32_t>(cb.Count());
       while (true) {
         const std::uint32_t potential_a =
             static_cast<std::uint32_t>(a_.size()) + ca_count;
@@ -211,28 +216,39 @@ class DenseMbbSearcher {
       // this branch converges to the polynomial case fast and returns with
       // a near-optimal incumbent that then prunes the inclusion branch.
       // The child's candidate sets live in the next pooled frame — the
-      // assignments below are word copies into retained capacity, not
-      // fresh allocations.
+      // assignments below are word copies into retained arena capacity,
+      // and the child inherits the parent's counts minus the excluded
+      // vertex, so it starts without re-counting.
       {
         SearchContext::BranchFrame& child = ctx_.Frame(level + 1);
-        child.ca = ca;
-        child.cb = cb;
+        child.ca.CopyFrom(ca);
+        child.cb.CopyFrom(cb);
         (branch_side == Side::kLeft ? child.ca : child.cb)
             .Reset(branch_vertex);
-        if (Rec(child.ca, child.cb, depth + 1, level + 1)) {
+        const std::uint32_t child_ca =
+            ca_count - (branch_side == Side::kLeft ? 1 : 0);
+        const std::uint32_t child_cb =
+            cb_count - (branch_side == Side::kRight ? 1 : 0);
+        if (Rec(child.ca, child.cb, child_ca, child_cb, depth + 1,
+                level + 1)) {
           return true;
         }
       }
 
-      // Inclusion branch: continue in this frame.
+      // Inclusion branch: continue in this frame. The candidate
+      // refinement and its popcount happen in one fused sweep.
       if (branch_side == Side::kLeft) {
         a_.push_back(branch_vertex);
         ca.Reset(branch_vertex);
-        cb &= g_.LeftRow(branch_vertex);
+        --ca_count;
+        cb_count = static_cast<std::uint32_t>(
+            cb.AndCountAssign(g_.LeftRow(branch_vertex)));
       } else {
         b_.push_back(branch_vertex);
         cb.Reset(branch_vertex);
-        ca &= g_.RightRow(branch_vertex);
+        --cb_count;
+        ca_count = static_cast<std::uint32_t>(
+            ca.AndCountAssign(g_.RightRow(branch_vertex)));
       }
       ++depth;
     }
@@ -241,7 +257,7 @@ class DenseMbbSearcher {
   /// One candidate side is empty: by the search invariant every remaining
   /// candidate on the other side is adjacent to all fixed vertices, so the
   /// whole candidate set can be absorbed at once.
-  void RecordLeaf(const Bitset& ca, const Bitset& cb) {
+  void RecordLeaf(BitSpan ca, BitSpan cb) {
     ++stats_.leaves;
     Biclique candidate;
     candidate.left = a_;
@@ -289,7 +305,7 @@ class DenseMbbSearcher {
   /// at least one cross neighbour participate. Stops as soon as `target`
   /// edges are matched (the caller only cares whether ν >= target). All
   /// working memory comes from the context's pooled matching scratch.
-  std::uint32_t ComplementMatching(const Bitset& ca, const Bitset& cb,
+  std::uint32_t ComplementMatching(BitSpan ca, BitSpan cb,
                                    std::uint32_t target) {
     SearchContext::MatchingScratch& m = ctx_.matching();
     if (m.match_of_right.size() < g_.num_right()) {
@@ -298,8 +314,8 @@ class DenseMbbSearcher {
     }
     m.BeginRound();
     for (int u = ca.FindFirst(); u >= 0; u = ca.FindNext(u)) {
-      m.missing = cb;
-      m.missing.AndNotAssign(g_.LeftRow(static_cast<VertexId>(u)));
+      // missing = cb \ N(u), built in one fused sweep.
+      m.missing.AssignAndNot(cb, g_.LeftRow(static_cast<VertexId>(u)));
       if (m.missing.None()) continue;
       m.left.push_back(static_cast<VertexId>(u));
       std::vector<std::uint32_t>& row = m.NextRow();
@@ -353,6 +369,7 @@ MbbResult DenseMbbSolve(const DenseSubgraph& g, const DenseMbbOptions& options,
                         std::uint32_t initial_best, SearchContext* context) {
   SearchContext transient;
   SearchContext& ctx = context != nullptr ? *context : transient;
+  ctx.PrepareFrames(std::max(g.num_left(), g.num_right()));
   DenseMbbSearcher searcher(g, options, initial_best, ctx);
   SearchContext::BranchFrame& root = ctx.Frame(0);
   root.ca.Resize(g.num_left());
@@ -368,6 +385,7 @@ MbbResult DenseMbbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
                                 SearchContext* context) {
   SearchContext transient;
   SearchContext& ctx = context != nullptr ? *context : transient;
+  ctx.PrepareFrames(std::max(g.num_left(), g.num_right()));
   DenseMbbSearcher searcher(g, options, initial_best, ctx);
   SearchContext::BranchFrame& root = ctx.Frame(0);
   root.ca.Resize(g.num_left());
@@ -376,7 +394,7 @@ MbbResult DenseMbbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
   // B-side candidates are restricted to the anchor's neighbours so the
   // biclique invariant (every candidate adjacent to all fixed vertices)
   // holds from the start.
-  root.cb = g.LeftRow(anchor);
+  root.cb.CopyFrom(g.LeftRow(anchor));
   return searcher.Run({anchor}, {}, root);
 }
 

@@ -118,7 +118,7 @@ DynamicMbbOutcome DynamicMbbSolve(const DenseSubgraph& g,
 DynamicMbbOutcome TryDynamicMbb(const DenseSubgraph& g,
                                 std::span<const VertexId> partial_a,
                                 std::span<const VertexId> partial_b,
-                                const Bitset& ca, const Bitset& cb,
+                                BitSpan ca, BitSpan cb,
                                 std::uint32_t lower_bound, bool* polynomial) {
   const ComplementDecomposition dec = DecomposeComplement(g, ca, cb);
   if (polynomial != nullptr) *polynomial = dec.lemma3_satisfied;

@@ -1,0 +1,26 @@
+#include "engine/search_context.h"
+
+namespace mbb {
+
+void SearchContext::PrepareFrames(std::size_t max_bits) {
+  const std::size_t needed = BitMatrix::StrideWords(max_bits);
+  if (needed <= stride_words_) return;
+  // Re-carve the pool at the wider stride. Safe only between searches:
+  // existing BranchFrame references die with the slabs backing them.
+  frames_.clear();
+  slabs_.clear();
+  stride_words_ = needed;
+}
+
+void SearchContext::AddFrame() {
+  const std::size_t level = frames_.size();
+  const std::size_t slab = level / kLevelsPerSlab;
+  if (slab >= slabs_.size()) {
+    slabs_.emplace_back(2 * kLevelsPerSlab, stride_words_ * 64);
+  }
+  const std::size_t row = 2 * (level % kLevelsPerSlab);
+  frames_.push_back(
+      {slabs_[slab].EmptyRow(row), slabs_[slab].EmptyRow(row + 1)});
+}
+
+}  // namespace mbb

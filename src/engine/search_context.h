@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "graph/bipartite_graph.h"
+#include "graph/bit_matrix.h"
 #include "graph/bitset.h"
 
 namespace mbb {
@@ -20,8 +21,14 @@ namespace mbb {
 /// (complement-matching) bound, so a branch step degrades into word copies
 /// over memory that is already allocated and cache-resident.
 ///
-/// Frames live in a `std::deque` so growing the pool never invalidates the
-/// references held by outer recursion levels.
+/// Frame storage is carved out of `BitMatrix` slab arenas
+/// (`kLevelsPerSlab` levels x 2 rows per slab, one cache-line-aligned
+/// allocation each), so the candidate sets of adjacent recursion levels —
+/// exactly the ones a branch step copies between — sit at a fixed stride
+/// in the same allocation instead of scattered across the heap. The
+/// `BranchFrame` views live in a `std::deque` and the slabs' buffers never
+/// move, so growing the pool never invalidates the views or word pointers
+/// held by outer recursion levels.
 ///
 /// One context can be reused across any number of searches — the sparse
 /// pipeline runs every anchored verification search through a single
@@ -33,11 +40,12 @@ namespace mbb {
 class SearchContext {
  public:
   /// Candidate-set scratch for one recursion nesting level. `ca`/`cb`
-  /// mirror the two candidate sides; their sizes are whatever the last
-  /// user at this level assigned (Bitset assignment reuses capacity).
+  /// mirror the two candidate sides; their logical sizes are whatever the
+  /// last user at this level assigned (each row's capacity is the frame
+  /// stride, see `PrepareFrames`).
   struct BranchFrame {
-    Bitset ca;
-    Bitset cb;
+    BitRow ca;
+    BitRow cb;
   };
 
   /// Scratch for denseMBB's complement-matching (König) bound: the
@@ -70,14 +78,27 @@ class SearchContext {
     }
   };
 
+  /// Levels per slab allocation. 16 levels x 2 rows x the stride — deep
+  /// searches chain slabs; the buffers never move once allocated.
+  static constexpr std::size_t kLevelsPerSlab = 16;
+
   SearchContext() = default;
   SearchContext(const SearchContext&) = delete;
   SearchContext& operator=(const SearchContext&) = delete;
 
+  /// Ensures every frame row can hold at least `max_bits` bits. Search
+  /// entry points call this with `max(num_left, num_right)` before taking
+  /// `Frame(0)`. Growing the stride discards existing frames and slabs, so
+  /// it must only be called between searches, never while frames are live.
+  /// Shrinking never happens — a context reused across differently sized
+  /// subgraphs keeps the largest stride seen.
+  void PrepareFrames(std::size_t max_bits);
+
   /// The scratch frame for recursion nesting level `level` (0-based).
-  /// Created on first use; keeps its capacity for the context's lifetime.
+  /// Created on first use; keeps its capacity for the context's lifetime
+  /// (until a growing `PrepareFrames` call re-carves the pool).
   BranchFrame& Frame(std::size_t level) {
-    while (frames_.size() <= level) frames_.emplace_back();
+    while (frames_.size() <= level) AddFrame();
     return frames_[level];
   }
 
@@ -89,7 +110,17 @@ class SearchContext {
   /// Number of frames materialized so far (diagnostics / tests).
   std::size_t FrameCount() const { return frames_.size(); }
 
+  /// Per-row frame capacity, in bits (diagnostics / tests).
+  std::size_t FrameCapacityBits() const { return stride_words_ * 64; }
+
  private:
+  void AddFrame();
+
+  // Default stride: 8 words = 512 bits, one cache line per row. Covers
+  // every vertex-centred subgraph of the sparse pipeline without a
+  // PrepareFrames call.
+  std::size_t stride_words_ = BitMatrix::kStrideWordMultiple;
+  std::vector<BitMatrix> slabs_;
   std::deque<BranchFrame> frames_;
   MatchingScratch matching_;
   std::vector<std::uint32_t> score_scratch_;

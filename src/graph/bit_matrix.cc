@@ -1,0 +1,46 @@
+#include "graph/bit_matrix.h"
+
+#include <cstring>
+#include <new>
+
+namespace mbb {
+
+namespace {
+
+std::uint64_t* AllocateWords(std::size_t words) {
+  if (words == 0) return nullptr;
+  return static_cast<std::uint64_t*>(::operator new[](
+      words * sizeof(std::uint64_t), std::align_val_t{BitMatrix::kAlignment}));
+}
+
+}  // namespace
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t bits_per_row)
+    : rows_(rows), bits_(bits_per_row), stride_(StrideWords(bits_per_row)) {
+  words_.reset(AllocateWords(word_count()));
+  Clear();
+}
+
+BitMatrix::BitMatrix(const BitMatrix& other)
+    : rows_(other.rows_), bits_(other.bits_), stride_(other.stride_) {
+  words_.reset(AllocateWords(word_count()));
+  if (words_ != nullptr) {
+    std::memcpy(words_.get(), other.words_.get(),
+                word_count() * sizeof(std::uint64_t));
+  }
+}
+
+BitMatrix& BitMatrix::operator=(const BitMatrix& other) {
+  if (this == &other) return *this;
+  BitMatrix copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+void BitMatrix::Clear() {
+  if (words_ != nullptr) {
+    std::memset(words_.get(), 0, word_count() * sizeof(std::uint64_t));
+  }
+}
+
+}  // namespace mbb

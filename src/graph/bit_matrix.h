@@ -1,0 +1,97 @@
+#ifndef MBB_GRAPH_BIT_MATRIX_H_
+#define MBB_GRAPH_BIT_MATRIX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "graph/bit_span.h"
+
+namespace mbb {
+
+/// A fixed-shape 2-D bit array in one contiguous cache-line-aligned
+/// allocation: `rows()` rows of `bits_per_row()` bits each, laid out at a
+/// constant `stride_words()` stride. This is the adjacency substrate of
+/// `DenseSubgraph` (one arena per side) and the frame arena of
+/// `SearchContext` — replacing the per-row `std::vector` allocations that
+/// scattered rows across the heap and defeated prefetching in the
+/// "intersect candidates with N(u)" inner loops.
+///
+/// Layout invariants (docs/ARCHITECTURE.md, "Memory layout & SIMD
+/// dispatch"):
+///   - the base allocation is `kAlignment`-byte aligned;
+///   - the stride is rounded up to `kStrideWordMultiple` words, so every
+///     row starts on its own cache line;
+///   - all words are zero-initialized, and the zero-tail invariant of
+///     `BitSpan` holds for every row at all times.
+class BitMatrix {
+ public:
+  /// Base-address and per-row alignment, in bytes (one cache line).
+  static constexpr std::size_t kAlignment = 64;
+  /// Row stride granularity, in words (kAlignment / sizeof(uint64_t)).
+  static constexpr std::size_t kStrideWordMultiple =
+      kAlignment / sizeof(std::uint64_t);
+
+  /// Row stride used for `bits_per_row`-bit rows, in words.
+  static constexpr std::size_t StrideWords(std::size_t bits_per_row) {
+    return (BitWords(bits_per_row) + kStrideWordMultiple - 1) /
+           kStrideWordMultiple * kStrideWordMultiple;
+  }
+
+  BitMatrix() = default;
+
+  /// Allocates `rows x bits_per_row`, all bits zero.
+  BitMatrix(std::size_t rows, std::size_t bits_per_row);
+
+  BitMatrix(const BitMatrix& other);
+  BitMatrix& operator=(const BitMatrix& other);
+  BitMatrix(BitMatrix&&) = default;
+  BitMatrix& operator=(BitMatrix&&) = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t bits_per_row() const { return bits_; }
+  std::size_t stride_words() const { return stride_; }
+  std::size_t word_count() const { return rows_ * stride_; }
+
+  /// Read-only view of row `r` (logical width `bits_per_row()`).
+  BitSpan Row(std::size_t r) const {
+    return BitSpan(words_.get() + r * stride_, bits_);
+  }
+
+  /// Mutable view of row `r`. The row's capacity is the full stride, so a
+  /// caller may `Resize` it up to `stride_words() * 64` bits (the
+  /// SearchContext frame arena relies on this).
+  BitRow Row(std::size_t r) {
+    return BitRow(words_.get() + r * stride_, bits_, stride_);
+  }
+
+  /// Mutable view of row `r` starting at logical width 0 — the shape the
+  /// frame arena hands out, where each search sets its own width.
+  BitRow EmptyRow(std::size_t r) {
+    return BitRow(words_.get() + r * stride_, 0, stride_);
+  }
+
+  const std::uint64_t* RowWords(std::size_t r) const {
+    return words_.get() + r * stride_;
+  }
+  std::uint64_t* RowWords(std::size_t r) { return words_.get() + r * stride_; }
+
+  /// Zeroes every word (all rows, including stride padding).
+  void Clear();
+
+ private:
+  struct AlignedFree {
+    void operator()(std::uint64_t* p) const {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+
+  std::unique_ptr<std::uint64_t[], AlignedFree> words_;
+  std::size_t rows_ = 0;
+  std::size_t bits_ = 0;
+  std::size_t stride_ = 0;
+};
+
+}  // namespace mbb
+
+#endif  // MBB_GRAPH_BIT_MATRIX_H_

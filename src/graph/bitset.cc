@@ -2,20 +2,21 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
+
+#include "graph/bit_ops.h"
 
 namespace mbb {
 
-namespace {
-constexpr std::size_t WordCount(std::size_t num_bits) {
-  return (num_bits + 63) >> 6;
-}
-}  // namespace
-
 Bitset::Bitset(std::size_t num_bits, bool value)
     : num_bits_(num_bits),
-      words_(WordCount(num_bits), value ? ~std::uint64_t{0} : 0) {
+      words_(BitWords(num_bits), value ? ~std::uint64_t{0} : 0) {
   ClearTail();
 }
+
+Bitset::Bitset(BitSpan span)
+    : num_bits_(span.size()),
+      words_(span.words(), span.words() + span.word_count()) {}
 
 void Bitset::Resize(std::size_t num_bits, bool value) {
   const std::size_t old_bits = num_bits_;
@@ -27,7 +28,7 @@ void Bitset::Resize(std::size_t num_bits, bool value) {
       words_.back() |= ~std::uint64_t{0} << used;
     }
   }
-  words_.resize(WordCount(num_bits), value ? ~std::uint64_t{0} : 0);
+  words_.resize(BitWords(num_bits), value ? ~std::uint64_t{0} : 0);
   ClearTail();
 }
 
@@ -38,127 +39,47 @@ void Bitset::SetAll() {
 
 void Bitset::ResetAll() { std::fill(words_.begin(), words_.end(), 0); }
 
-std::size_t Bitset::Count() const {
-  std::size_t total = 0;
-  for (const std::uint64_t w : words_) {
-    total += static_cast<std::size_t>(__builtin_popcountll(w));
-  }
-  return total;
+Bitset& Bitset::operator&=(BitSpan other) {
+  assert(num_bits_ == other.size());
+  bitops::AndAssign(words_.data(), other.words(), words_.size());
+  return *this;
 }
 
-bool Bitset::Any() const {
-  for (const std::uint64_t w : words_) {
-    if (w != 0) return true;
-  }
-  return false;
-}
-
-int Bitset::FindFirst() const {
+Bitset& Bitset::operator|=(BitSpan other) {
+  assert(num_bits_ == other.size());
+  const std::uint64_t* src = other.words();
   for (std::size_t i = 0; i < words_.size(); ++i) {
-    if (words_[i] != 0) {
-      return static_cast<int>((i << 6) + __builtin_ctzll(words_[i]));
-    }
-  }
-  return -1;
-}
-
-int Bitset::FindNext(std::size_t i) const {
-  ++i;
-  // `i == 0` means the increment wrapped (the caller passed SIZE_MAX, e.g.
-  // an int -1 converted to std::size_t). Without this guard the scan would
-  // restart at bit 0 and an iteration loop over set bits would never
-  // terminate. The word-boundary cases (i = 63, 64, 127, ...) fall through
-  // to the masked first-word read below, which handles a zero in-word
-  // offset correctly.
-  if (i == 0 || i >= num_bits_) return -1;
-  std::size_t w = i >> 6;
-  std::uint64_t bits = words_[w] & (~std::uint64_t{0} << (i & 63));
-  while (true) {
-    if (bits != 0) {
-      return static_cast<int>((w << 6) + __builtin_ctzll(bits));
-    }
-    if (++w >= words_.size()) return -1;
-    bits = words_[w];
-  }
-}
-
-Bitset& Bitset::operator&=(const Bitset& other) {
-  assert(num_bits_ == other.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= other.words_[i];
+    words_[i] |= src[i];
   }
   return *this;
 }
 
-Bitset& Bitset::operator|=(const Bitset& other) {
-  assert(num_bits_ == other.num_bits_);
+Bitset& Bitset::operator^=(BitSpan other) {
+  assert(num_bits_ == other.size());
+  const std::uint64_t* src = other.words();
   for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] |= other.words_[i];
+    words_[i] ^= src[i];
   }
   return *this;
 }
 
-Bitset& Bitset::operator^=(const Bitset& other) {
-  assert(num_bits_ == other.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] ^= other.words_[i];
-  }
+Bitset& Bitset::AndNotAssign(BitSpan other) {
+  assert(num_bits_ == other.size());
+  bitops::AndNotAssign(words_.data(), other.words(), words_.size());
   return *this;
 }
 
-Bitset& Bitset::AndNotAssign(const Bitset& other) {
-  assert(num_bits_ == other.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    words_[i] &= ~other.words_[i];
-  }
+Bitset& Bitset::AssignAndNot(BitSpan a, BitSpan b) {
+  assert(a.size() == b.size());
+  // A growing resize may reallocate; an argument aliasing this bitset
+  // would then read freed words. Aliasing is fine only when no
+  // reallocation can happen.
+  assert(a.word_count() <= words_.capacity() ||
+         (a.words() != words_.data() && b.words() != words_.data()));
+  num_bits_ = a.size();
+  words_.resize(a.word_count());
+  bitops::AndNotInto(words_.data(), a.words(), b.words(), words_.size());
   return *this;
-}
-
-std::size_t Bitset::CountAnd(const Bitset& other) const {
-  assert(num_bits_ == other.num_bits_);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(
-        __builtin_popcountll(words_[i] & other.words_[i]));
-  }
-  return total;
-}
-
-std::size_t Bitset::CountAndNot(const Bitset& other) const {
-  assert(num_bits_ == other.num_bits_);
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    total += static_cast<std::size_t>(
-        __builtin_popcountll(words_[i] & ~other.words_[i]));
-  }
-  return total;
-}
-
-bool Bitset::Intersects(const Bitset& other) const {
-  assert(num_bits_ == other.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & other.words_[i]) != 0) return true;
-  }
-  return false;
-}
-
-bool Bitset::IsSubsetOf(const Bitset& other) const {
-  assert(num_bits_ == other.num_bits_);
-  for (std::size_t i = 0; i < words_.size(); ++i) {
-    if ((words_[i] & ~other.words_[i]) != 0) return false;
-  }
-  return true;
-}
-
-std::vector<std::uint32_t> Bitset::ToVector() const {
-  std::vector<std::uint32_t> out;
-  out.reserve(Count());
-  ForEach([&out](std::size_t i) { out.push_back(static_cast<std::uint32_t>(i)); });
-  return out;
-}
-
-bool Bitset::operator==(const Bitset& other) const {
-  return num_bits_ == other.num_bits_ && words_ == other.words_;
 }
 
 void Bitset::ClearTail() {

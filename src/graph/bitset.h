@@ -5,12 +5,20 @@
 #include <cstddef>
 #include <vector>
 
+#include "graph/bit_span.h"
+
 namespace mbb {
 
 /// A dynamically sized bitset tuned for the candidate-set operations used by
 /// the branch-and-bound searches in this library: word-parallel AND /
 /// AND-NOT, population counts of intersections without materialization, and
 /// fast iteration over set bits.
+///
+/// All word-level work routes through the shared `bitops` kernels
+/// (graph/bit_ops.h), so a `Bitset` gets the same SIMD dispatch as the
+/// `BitMatrix`-backed adjacency rows and pooled search frames. Binary
+/// operations take `BitSpan`, which a `Bitset`, a `BitRow`, or a
+/// `BitMatrix` row all convert to — the searches mix the three freely.
 ///
 /// Bits beyond `size()` are guaranteed to be zero at all times, so `Count()`
 /// and word-level comparisons never need masking on the caller side.
@@ -20,6 +28,16 @@ class Bitset {
 
   /// Creates a bitset with `num_bits` bits, all initialized to `value`.
   explicit Bitset(std::size_t num_bits, bool value = false);
+
+  /// Deep copy of a view's bits.
+  explicit Bitset(BitSpan span);
+
+  /// Read-only view of this bitset's bits.
+  BitSpan Span() const { return BitSpan(words_.data(), num_bits_); }
+  operator BitSpan() const { return Span(); }
+
+  /// Mutable fixed-capacity view (capacity == current word count).
+  BitRow Row() { return BitRow(words_.data(), num_bits_, words_.size()); }
 
   /// Number of addressable bits.
   std::size_t size() const { return num_bits_; }
@@ -58,65 +76,66 @@ class Bitset {
   void ResetAll();
 
   /// Number of set bits.
-  std::size_t Count() const;
+  std::size_t Count() const { return Span().Count(); }
 
   /// True when at least one bit is set.
-  bool Any() const;
+  bool Any() const { return Span().Any(); }
 
   /// True when no bit is set.
   bool None() const { return !Any(); }
 
   /// Index of the lowest set bit, or -1 when none.
-  int FindFirst() const;
+  int FindFirst() const { return Span().FindFirst(); }
 
   /// Index of the lowest set bit strictly greater than `i`, or -1 when none.
   /// Safe for any `i`, including word boundaries (63, 127, ...), `i >=
   /// size()`, and `SIZE_MAX` (so feeding back a sign-converted -1 sentinel
   /// terminates instead of wrapping to bit 0).
-  int FindNext(std::size_t i) const;
+  int FindNext(std::size_t i) const { return Span().FindNext(i); }
 
   /// In-place intersection. Preconditions: `size() == other.size()`.
-  Bitset& operator&=(const Bitset& other);
+  Bitset& operator&=(BitSpan other);
 
   /// In-place union. Preconditions: `size() == other.size()`.
-  Bitset& operator|=(const Bitset& other);
+  Bitset& operator|=(BitSpan other);
 
   /// In-place symmetric difference. Preconditions: `size() == other.size()`.
-  Bitset& operator^=(const Bitset& other);
+  Bitset& operator^=(BitSpan other);
 
   /// In-place difference: clears every bit that is set in `other`.
-  Bitset& AndNotAssign(const Bitset& other);
+  Bitset& AndNotAssign(BitSpan other);
+
+  /// Becomes `a & ~b` in one fused sweep, adopting `a`'s size. Replaces
+  /// the copy-then-AndNotAssign two-pass the searches used to do.
+  Bitset& AssignAndNot(BitSpan a, BitSpan b);
 
   /// `|this ∩ other|` without materializing the intersection.
-  std::size_t CountAnd(const Bitset& other) const;
+  std::size_t CountAnd(BitSpan other) const { return Span().CountAnd(other); }
 
   /// `|this \ other|` without materializing the difference.
-  std::size_t CountAndNot(const Bitset& other) const;
+  std::size_t CountAndNot(BitSpan other) const {
+    return Span().CountAndNot(other);
+  }
 
   /// True when `this ∩ other` is non-empty.
-  bool Intersects(const Bitset& other) const;
+  bool Intersects(BitSpan other) const { return Span().Intersects(other); }
 
   /// True when every set bit of `this` is also set in `other`.
-  bool IsSubsetOf(const Bitset& other) const;
+  bool IsSubsetOf(BitSpan other) const { return Span().IsSubsetOf(other); }
 
   /// Calls `fn(i)` for every set bit `i` in increasing order. `Fn` may be
   /// any callable accepting a `std::size_t` (or implicitly convertible).
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      std::uint64_t bits = words_[w];
-      while (bits != 0) {
-        const int b = __builtin_ctzll(bits);
-        fn(static_cast<std::size_t>((w << 6) + b));
-        bits &= bits - 1;
-      }
-    }
+    Span().ForEach(static_cast<Fn&&>(fn));
   }
 
   /// Materializes set bits as a vector of indices, in increasing order.
-  std::vector<std::uint32_t> ToVector() const;
+  std::vector<std::uint32_t> ToVector() const { return Span().ToVector(); }
 
-  bool operator==(const Bitset& other) const;
+  bool operator==(const Bitset& other) const {
+    return Span().ContentEquals(other.Span());
+  }
   bool operator!=(const Bitset& other) const { return !(*this == other); }
 
   friend Bitset operator&(Bitset lhs, const Bitset& rhs) {

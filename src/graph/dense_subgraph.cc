@@ -1,6 +1,7 @@
 #include "graph/dense_subgraph.h"
 
 #include <cassert>
+#include <numeric>
 
 namespace mbb {
 
@@ -15,8 +16,8 @@ DenseSubgraph DenseSubgraph::Build(const BipartiteGraph& g,
 
   const std::uint32_t nl = static_cast<std::uint32_t>(left_vertices.size());
   const std::uint32_t nr = static_cast<std::uint32_t>(right_vertices.size());
-  s.left_adj_.assign(nl, Bitset(nr));
-  s.right_adj_.assign(nr, Bitset(nl));
+  s.left_adj_ = BitMatrix(nl, nr);
+  s.right_adj_ = BitMatrix(nr, nl);
 
   // Local index of each kept right vertex, over the origin graph's id space
   // of the right side.
@@ -29,14 +30,16 @@ DenseSubgraph DenseSubgraph::Build(const BipartiteGraph& g,
   }
 
   for (VertexId l = 0; l < nl; ++l) {
+    BitRow row = s.left_adj_.Row(l);
     for (const VertexId nbr : g.Neighbors(left_side, left_vertices[l])) {
       const VertexId r = right_local[nbr];
       if (r != kAbsent) {
-        s.left_adj_[l].Set(r);
-        s.right_adj_[r].Set(l);
+        row.Set(r);
+        s.right_adj_.Row(r).Set(l);
       }
     }
   }
+  s.CacheDegrees();
   return s;
 }
 
@@ -53,26 +56,40 @@ DenseSubgraph DenseSubgraph::FromLocalAdjacency(
     const std::vector<std::vector<VertexId>>& adj) {
   assert(adj.size() == num_left);
   DenseSubgraph s;
-  s.left_adj_.assign(num_left, Bitset(num_right));
-  s.right_adj_.assign(num_right, Bitset(num_left));
+  s.left_adj_ = BitMatrix(num_left, num_right);
+  s.right_adj_ = BitMatrix(num_right, num_left);
   s.left_origin_.resize(num_left);
   s.right_origin_.resize(num_right);
   for (VertexId l = 0; l < num_left; ++l) s.left_origin_[l] = l;
   for (VertexId r = 0; r < num_right; ++r) s.right_origin_[r] = r;
   for (VertexId l = 0; l < num_left; ++l) {
+    BitRow row = s.left_adj_.Row(l);
     for (const VertexId r : adj[l]) {
       assert(r < num_right);
-      s.left_adj_[l].Set(r);
-      s.right_adj_[r].Set(l);
+      row.Set(r);
+      s.right_adj_.Row(r).Set(l);
     }
   }
+  s.CacheDegrees();
   return s;
 }
 
+void DenseSubgraph::CacheDegrees() {
+  left_deg_.resize(left_adj_.rows());
+  for (std::size_t l = 0; l < left_adj_.rows(); ++l) {
+    left_deg_[l] = static_cast<std::uint32_t>(left_adj_.Row(l).Count());
+  }
+  right_deg_.resize(right_adj_.rows());
+  for (std::size_t r = 0; r < right_adj_.rows(); ++r) {
+    right_deg_[r] = static_cast<std::uint32_t>(right_adj_.Row(r).Count());
+  }
+}
+
 std::uint64_t DenseSubgraph::CountEdges() const {
-  std::uint64_t total = 0;
-  for (const Bitset& row : left_adj_) total += row.Count();
-  return total;
+  // Degrees are cached at build time, so |E| is a plain sum — no popcount
+  // sweep over the arena.
+  return std::accumulate(left_deg_.begin(), left_deg_.end(),
+                         std::uint64_t{0});
 }
 
 double DenseSubgraph::Density() const {

@@ -7,6 +7,7 @@
 
 #include "graph/biclique.h"
 #include "graph/bipartite_graph.h"
+#include "graph/bit_matrix.h"
 #include "graph/bitset.h"
 
 namespace mbb {
@@ -14,8 +15,15 @@ namespace mbb {
 /// A small bipartite graph re-indexed to dense local ids with bitset
 /// adjacency rows in both directions. All branch-and-bound searches
 /// (`basicBB`, `denseMBB`, `dynamicMBB`) operate on this representation:
-/// candidate sets are `Bitset`s over local ids, and the inner-loop
+/// candidate sets are bitsets over local ids, and the inner-loop
 /// operation "intersect candidates with N(u)" is a word-parallel AND.
+///
+/// Each side's rows live in one contiguous cache-line-aligned `BitMatrix`
+/// arena (constant stride, rows in id order), so the reduction loops that
+/// sweep `N(u)` for consecutive `u` walk memory linearly, and the bitops
+/// SIMD kernels see aligned rows. Rows surface as `BitSpan` views.
+/// Degrees are computed once at build time; `LeftDegree`/`RightDegree`
+/// are O(1) lookups instead of per-call row popcounts.
 ///
 /// The subgraph remembers which global side its local "left" corresponds to
 /// (`left_side()`), because the sparse pipeline canonicalizes vertex-centred
@@ -43,35 +51,38 @@ class DenseSubgraph {
   static DenseSubgraph Whole(const BipartiteGraph& g);
 
   std::uint32_t num_left() const {
-    return static_cast<std::uint32_t>(left_adj_.size());
+    return static_cast<std::uint32_t>(left_adj_.rows());
   }
   std::uint32_t num_right() const {
-    return static_cast<std::uint32_t>(right_adj_.size());
+    return static_cast<std::uint32_t>(right_adj_.rows());
   }
   std::uint32_t NumVertices() const { return num_left() + num_right(); }
 
   /// Which global side local-left ids correspond to.
   Side left_side() const { return left_side_; }
 
-  /// Neighbour row of left-local `l`, as a bitset over right-local ids.
-  const Bitset& LeftRow(VertexId l) const { return left_adj_[l]; }
+  /// Neighbour row of left-local `l`, as a bitset view over right-local ids.
+  BitSpan LeftRow(VertexId l) const { return left_adj_.Row(l); }
 
-  /// Neighbour row of right-local `r`, as a bitset over left-local ids.
-  const Bitset& RightRow(VertexId r) const { return right_adj_[r]; }
+  /// Neighbour row of right-local `r`, as a bitset view over left-local ids.
+  BitSpan RightRow(VertexId r) const { return right_adj_.Row(r); }
 
   /// Neighbour row of a vertex on `side` (local id).
-  const Bitset& Row(Side side, VertexId v) const {
-    return side == Side::kLeft ? left_adj_[v] : right_adj_[v];
+  BitSpan Row(Side side, VertexId v) const {
+    return side == Side::kLeft ? LeftRow(v) : RightRow(v);
   }
 
-  bool HasEdge(VertexId l, VertexId r) const { return left_adj_[l].Test(r); }
+  /// The whole adjacency arena of one side (diagnostics / benches).
+  const BitMatrix& SideMatrix(Side side) const {
+    return side == Side::kLeft ? left_adj_ : right_adj_;
+  }
 
-  std::uint32_t LeftDegree(VertexId l) const {
-    return static_cast<std::uint32_t>(left_adj_[l].Count());
+  bool HasEdge(VertexId l, VertexId r) const {
+    return left_adj_.Row(l).Test(r);
   }
-  std::uint32_t RightDegree(VertexId r) const {
-    return static_cast<std::uint32_t>(right_adj_[r].Count());
-  }
+
+  std::uint32_t LeftDegree(VertexId l) const { return left_deg_[l]; }
+  std::uint32_t RightDegree(VertexId r) const { return right_deg_[r]; }
 
   std::uint64_t CountEdges() const;
 
@@ -90,9 +101,14 @@ class DenseSubgraph {
   Biclique ToOriginal(const Biclique& local) const;
 
  private:
+  // Recomputes the cached degree vectors from the adjacency arenas.
+  void CacheDegrees();
+
   Side left_side_ = Side::kLeft;
-  std::vector<Bitset> left_adj_;   // one row per left-local vertex
-  std::vector<Bitset> right_adj_;  // one row per right-local vertex
+  BitMatrix left_adj_;   // one row per left-local vertex, over right ids
+  BitMatrix right_adj_;  // one row per right-local vertex, over left ids
+  std::vector<std::uint32_t> left_deg_;
+  std::vector<std::uint32_t> right_deg_;
   std::vector<VertexId> left_origin_;
   std::vector<VertexId> right_origin_;
 };

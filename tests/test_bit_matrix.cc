@@ -1,0 +1,270 @@
+/// BitMatrix arena + BitRow/BitSpan view tests: layout invariants
+/// (alignment, stride), randomized equivalence against a
+/// std::vector<Bitset> mirror, view semantics (Resize/CopyFrom/fused
+/// ops), the SearchContext frame arena, and a DenseSubgraph round-trip
+/// regression over the new substrate.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/search_context.h"
+#include "graph/bit_matrix.h"
+#include "graph/bitset.h"
+#include "graph/dense_subgraph.h"
+#include "graph/generators.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+TEST(BitMatrix, LayoutInvariants) {
+  for (const std::size_t bits : {1u, 63u, 64u, 65u, 511u, 512u, 513u}) {
+    BitMatrix m(5, bits);
+    EXPECT_EQ(m.rows(), 5u);
+    EXPECT_EQ(m.bits_per_row(), bits);
+    EXPECT_EQ(m.stride_words() % BitMatrix::kStrideWordMultiple, 0u);
+    EXPECT_GE(m.stride_words() * 64, bits);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      // Every row starts on its own cache line.
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.RowWords(r)) %
+                    BitMatrix::kAlignment,
+                0u);
+      EXPECT_EQ(m.Row(r).Count(), 0u) << "rows must start zeroed";
+    }
+  }
+}
+
+TEST(BitMatrix, CopyIsDeep) {
+  BitMatrix m(3, 100);
+  m.Row(1).Set(42);
+  BitMatrix copy = m;
+  copy.Row(1).Reset(42);
+  copy.Row(2).Set(7);
+  EXPECT_TRUE(m.Row(1).Test(42));
+  EXPECT_FALSE(m.Row(2).Test(7));
+  EXPECT_FALSE(copy.Row(1).Test(42));
+}
+
+/// Randomized equivalence: drive identical op sequences through BitMatrix
+/// rows and a vector<Bitset> mirror, comparing all rows after every step.
+TEST(BitMatrix, RandomOpsMatchBitsetMirror) {
+  std::mt19937_64 rng(7);
+  for (const std::size_t bits : {40u, 64u, 130u, 500u}) {
+    const std::size_t rows = 8;
+    BitMatrix m(rows, bits);
+    std::vector<Bitset> mirror(rows, Bitset(bits));
+
+    const auto expect_rows_equal = [&]() {
+      for (std::size_t r = 0; r < rows; ++r) {
+        EXPECT_TRUE(m.Row(r).ContentEquals(mirror[r].Span()));
+      }
+    };
+
+    for (int step = 0; step < 300; ++step) {
+      const std::size_t r = rng() % rows;
+      const std::size_t other = rng() % rows;
+      switch (rng() % 6) {
+        case 0: {
+          const std::size_t i = rng() % bits;
+          m.Row(r).Set(i);
+          mirror[r].Set(i);
+          break;
+        }
+        case 1: {
+          const std::size_t i = rng() % bits;
+          m.Row(r).Reset(i);
+          mirror[r].Reset(i);
+          break;
+        }
+        case 2:
+          if (r != other) {
+            BitRow row = m.Row(r);
+            row &= m.Row(other);
+            mirror[r] &= mirror[other];
+          }
+          break;
+        case 3:
+          if (r != other) {
+            m.Row(r).AndNotAssign(m.Row(other));
+            mirror[r].AndNotAssign(mirror[other]);
+          }
+          break;
+        case 4: {
+          EXPECT_EQ(m.Row(r).CountAnd(m.Row(other)),
+                    mirror[r].CountAnd(mirror[other]));
+          break;
+        }
+        default: {
+          EXPECT_EQ(m.Row(r).Count(), mirror[r].Count());
+          EXPECT_EQ(m.Row(r).FindFirst(), mirror[r].FindFirst());
+          break;
+        }
+      }
+    }
+    expect_rows_equal();
+  }
+}
+
+TEST(BitRowView, ResizeWithinCapacityMatchesBitsetSemantics) {
+  BitMatrix arena(1, 512);
+  BitRow row = arena.EmptyRow(0);
+  Bitset reference;
+  std::mt19937_64 rng(13);
+  const std::size_t sizes[] = {0, 64, 63, 65, 500, 1, 128, 127, 512};
+  for (const std::size_t bits : sizes) {
+    const bool fill = rng() & 1;
+    row.Resize(bits, fill);
+    reference.Resize(bits, fill);
+    EXPECT_TRUE(row.Span().ContentEquals(reference.Span()))
+        << "after Resize(" << bits << ", " << fill << ")";
+    // Mutate a few bits so the next resize starts from shared state.
+    for (int j = 0; j < 3 && bits > 0; ++j) {
+      const std::size_t i = rng() % bits;
+      row.Assign(i, j % 2 == 0);
+      reference.Assign(i, j % 2 == 0);
+    }
+  }
+}
+
+TEST(BitRowView, CopyFromAndFusedOps) {
+  BitMatrix arena(3, 256);
+  Bitset a(200);
+  Bitset b(200);
+  for (std::size_t i = 0; i < 200; i += 3) a.Set(i);
+  for (std::size_t i = 0; i < 200; i += 2) b.Set(i);
+
+  BitRow dst = arena.EmptyRow(0);
+  dst.CopyFrom(a);
+  EXPECT_EQ(dst.size(), 200u);
+  EXPECT_TRUE(dst.Span().ContentEquals(a.Span()));
+
+  // Fused and-with-count == separate ops.
+  Bitset expected = a & b;
+  EXPECT_EQ(dst.AndCountAssign(b), expected.Count());
+  EXPECT_TRUE(dst.Span().ContentEquals(expected.Span()));
+
+  BitRow out = arena.EmptyRow(1);
+  EXPECT_EQ(out.AssignAndCount(a, b), expected.Count());
+  EXPECT_TRUE(out.Span().ContentEquals(expected.Span()));
+
+  Bitset diff = Bitset::AndNot(a, b);
+  out.AssignAndNot(a, b);
+  EXPECT_TRUE(out.Span().ContentEquals(diff.Span()));
+
+  // A row resized smaller then reused must not leak stale high words.
+  BitRow reused = arena.EmptyRow(2);
+  reused.Resize(256, true);
+  reused.Resize(10);
+  EXPECT_EQ(reused.Count(), 10u);
+  reused.Resize(200);
+  EXPECT_EQ(reused.Count(), 10u) << "grown region must arrive zeroed";
+}
+
+TEST(SearchContextFrames, PrepareGrowsCapacityAndKeepsPointersStable) {
+  SearchContext ctx;
+  EXPECT_EQ(ctx.FrameCapacityBits(), 512u) << "default stride is one line";
+  ctx.PrepareFrames(100);
+  EXPECT_EQ(ctx.FrameCapacityBits(), 512u) << "no shrink below default";
+
+  SearchContext::BranchFrame& f0 = ctx.Frame(0);
+  f0.ca.Resize(500);
+  f0.ca.SetAll();
+  const std::uint64_t* words_before = f0.ca.words();
+  // Growing the pool across slab boundaries must not move earlier frames.
+  ctx.Frame(3 * SearchContext::kLevelsPerSlab);
+  EXPECT_EQ(&ctx.Frame(0), &f0);
+  EXPECT_EQ(f0.ca.words(), words_before);
+  EXPECT_EQ(f0.ca.Count(), 500u);
+
+  // Growing the stride re-carves the pool (documented: only between
+  // searches) and widens every frame's capacity.
+  ctx.PrepareFrames(2000);
+  EXPECT_GE(ctx.FrameCapacityBits(), 2000u);
+  EXPECT_EQ(ctx.FrameCount(), 0u);
+  SearchContext::BranchFrame& wide = ctx.Frame(2);
+  wide.cb.Resize(2000, true);
+  EXPECT_EQ(wide.cb.Count(), 2000u);
+}
+
+/// Adjacent recursion levels must be usable concurrently (the branch step
+/// copies parent frames into child frames).
+TEST(SearchContextFrames, FramesAreDisjoint) {
+  SearchContext ctx;
+  SearchContext::BranchFrame& parent = ctx.Frame(0);
+  SearchContext::BranchFrame& child = ctx.Frame(1);
+  parent.ca.Resize(300);
+  parent.ca.SetAll();
+  parent.cb.Resize(300);
+  parent.cb.SetAll();
+  child.ca.Resize(300);
+  child.ca.ResetAll();
+  child.cb.Resize(300);
+  child.cb.ResetAll();
+  EXPECT_EQ(parent.ca.Count(), 300u);
+  EXPECT_EQ(parent.cb.Count(), 300u);
+  child.ca.CopyFrom(parent.ca);
+  child.ca.Reset(7);
+  EXPECT_EQ(parent.ca.Count(), 300u);
+  EXPECT_EQ(child.ca.Count(), 299u);
+}
+
+/// DenseSubgraph over the arena substrate: rows, cached degrees, and edge
+/// counts must agree with the origin graph, and ToOriginal must round-trip.
+TEST(DenseSubgraphArena, RoundTripRegression) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const BipartiteGraph g = RandomUniform(37, 21, 0.3, seed);
+    const DenseSubgraph s = DenseSubgraph::Whole(g);
+    ASSERT_EQ(s.num_left(), g.num_left());
+    ASSERT_EQ(s.num_right(), g.num_right());
+
+    std::uint64_t edges = 0;
+    for (VertexId l = 0; l < g.num_left(); ++l) {
+      EXPECT_EQ(s.LeftDegree(l), g.Degree(Side::kLeft, l));
+      EXPECT_EQ(s.LeftRow(l).Count(), s.LeftDegree(l));
+      for (VertexId r = 0; r < g.num_right(); ++r) {
+        const bool edge = g.HasEdge(l, r);
+        EXPECT_EQ(s.HasEdge(l, r), edge);
+        EXPECT_EQ(s.LeftRow(l).Test(r), edge);
+        EXPECT_EQ(s.RightRow(r).Test(l), edge);
+        edges += edge ? 1 : 0;
+      }
+    }
+    for (VertexId r = 0; r < g.num_right(); ++r) {
+      EXPECT_EQ(s.RightDegree(r), g.Degree(Side::kRight, r));
+    }
+    EXPECT_EQ(s.CountEdges(), edges);
+
+    Biclique local;
+    local.left = {0, 2};
+    local.right = {1, 3};
+    const Biclique original = s.ToOriginal(local);
+    EXPECT_EQ(original.left, local.left) << "identity build keeps ids";
+    EXPECT_EQ(original.right, local.right);
+  }
+}
+
+/// Degree caches must be correct for the canonicalized (swapped-side)
+/// builds the sparse pipeline produces.
+TEST(DenseSubgraphArena, SwappedSideBuildKeepsDegrees) {
+  const BipartiteGraph g = testing::PaperExampleGraph();
+  std::vector<VertexId> rights = {0, 1, 2, 3};
+  std::vector<VertexId> lefts = {1, 2, 3};
+  // Local-left = global right side.
+  const DenseSubgraph s = DenseSubgraph::Build(g, rights, lefts,
+                                               Side::kRight);
+  ASSERT_EQ(s.num_left(), 4u);
+  ASSERT_EQ(s.num_right(), 3u);
+  for (VertexId i = 0; i < s.num_left(); ++i) {
+    std::uint32_t expected = 0;
+    for (VertexId j = 0; j < s.num_right(); ++j) {
+      expected += g.HasEdge(lefts[j], rights[i]) ? 1 : 0;
+    }
+    EXPECT_EQ(s.LeftDegree(i), expected);
+  }
+}
+
+}  // namespace
+}  // namespace mbb
