@@ -20,22 +20,15 @@
 
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json_lines.h"
 #include "graph/bit_ops.h"
 
 namespace mbb::benchjson {
-
-struct Entry {
-  std::string name;
-  double words = 0;
-  double ns_per_op = 0;
-  std::string dispatch;
-};
 
 /// Console output plus entry collection for the JSON Lines dump.
 class JsonLinesReporter : public benchmark::ConsoleReporter {
@@ -64,23 +57,6 @@ class JsonLinesReporter : public benchmark::ConsoleReporter {
   std::vector<Entry> entries_;
 };
 
-/// Appends the collected entries to `path` as JSON Lines.
-inline void WriteJsonLines(const std::string& path, const char* binary,
-                           const std::vector<Entry>& entries) {
-  std::ofstream out(path, std::ios::app);
-  if (!out) return;
-  const char* base = std::strrchr(binary, '/');
-  const std::string binary_name = base != nullptr ? base + 1 : binary;
-  out.precision(6);
-  out << std::fixed;
-  for (const Entry& e : entries) {
-    out << "{\"binary\": \"" << binary_name << "\", \"benchmark\": \""
-        << e.name << "\", \"words\": " << static_cast<long long>(e.words)
-        << ", \"ns_per_op\": " << e.ns_per_op
-        << ", \"dispatch\": \"" << e.dispatch << "\"}\n";
-  }
-}
-
 /// Drop-in main(): honours --force_scalar (or MBB_FORCE_SCALAR=1) so one
 /// binary can record both dispatch paths.
 inline int BenchmarkMainWithJson(int argc, char** argv) {
@@ -100,9 +76,7 @@ inline int BenchmarkMainWithJson(int argc, char** argv) {
   }
   JsonLinesReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
-  const char* path = std::getenv("MBB_BENCH_JSON");
-  WriteJsonLines(path != nullptr ? path : "BENCH_micro.json", argv[0],
-                 reporter.entries());
+  WriteJsonLines(JsonLinesPath(), argv[0], reporter.entries());
   benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,51 @@
+/// The pure JSON Lines layer under bench_json.h: the record type and the
+/// appending writer, with no Google Benchmark dependency. Hand-written
+/// bench mains (bench_parallel_search) include this directly so their
+/// measurements land in the same BENCH_micro.json stream as the
+/// Google-Benchmark-based micro binaries; those binaries get it
+/// transitively through bench_json.h.
+
+#ifndef MBB_BENCH_BENCH_JSON_LINES_H_
+#define MBB_BENCH_BENCH_JSON_LINES_H_
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mbb::benchjson {
+
+struct Entry {
+  std::string name;
+  double words = 0;
+  double ns_per_op = 0;
+  std::string dispatch;
+};
+
+/// Appends the collected entries to `path` as JSON Lines.
+inline void WriteJsonLines(const std::string& path, const char* binary,
+                           const std::vector<Entry>& entries) {
+  std::ofstream out(path, std::ios::app);
+  if (!out) return;
+  const char* base = std::strrchr(binary, '/');
+  const std::string binary_name = base != nullptr ? base + 1 : binary;
+  out.precision(6);
+  out << std::fixed;
+  for (const Entry& e : entries) {
+    out << "{\"binary\": \"" << binary_name << "\", \"benchmark\": \""
+        << e.name << "\", \"words\": " << static_cast<long long>(e.words)
+        << ", \"ns_per_op\": " << e.ns_per_op
+        << ", \"dispatch\": \"" << e.dispatch << "\"}\n";
+  }
+}
+
+/// $MBB_BENCH_JSON, or the default output file.
+inline std::string JsonLinesPath() {
+  const char* path = std::getenv("MBB_BENCH_JSON");
+  return path != nullptr ? path : "BENCH_micro.json";
+}
+
+}  // namespace mbb::benchjson
+
+#endif  // MBB_BENCH_BENCH_JSON_LINES_H_

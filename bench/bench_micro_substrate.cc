@@ -163,7 +163,43 @@ void BM_RowSweepBitMatrix(benchmark::State& state) {
   state.counters["words"] = static_cast<double>(BitWords(bits));
   state.SetLabel(bitops::ActiveDispatchName());
 }
-BENCHMARK(BM_RowSweepBitMatrix)->Arg(256)->Arg(2048);
+// 65536 bits x 256 rows = 2 MiB of rows — past L2 on most parts, where the
+// plain sweep stalls on every row boundary.
+BENCHMARK(BM_RowSweepBitMatrix)->Arg(256)->Arg(2048)->Arg(16384)->Arg(65536);
+
+/// The same sweep with `BitSpan::Prefetch` lookahead — the pattern the
+/// denseMBB reduction and branch-selection loops use. The hardware stride
+/// prefetcher tracks the *within-row* streams but restarts cold at each
+/// row boundary once the arena falls out of L2; hinting row r+1 while the
+/// kernel crunches row r hides that latency.
+void BM_RowSweepBitMatrixPrefetch(benchmark::State& state) {
+  const std::size_t rows = 256;
+  const std::size_t bits = static_cast<std::size_t>(state.range(0));
+  BitMatrix m(rows, bits);
+  std::mt19937_64 rng(23);
+  for (std::size_t r = 0; r < rows; ++r) {
+    BitRow row = m.Row(r);
+    for (std::size_t i = 0; i < bits; i += 1 + rng() % 4) row.Set(i);
+  }
+  Bitset mask(bits);
+  for (std::size_t i = 0; i < bits; i += 2) mask.Set(i);
+  const BitMatrix& cm = m;
+  for (auto _ : state) {
+    std::size_t total = 0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r + 1 < rows) cm.Row(r + 1).Prefetch();
+      total += cm.Row(r).CountAnd(mask);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["words"] = static_cast<double>(BitWords(bits));
+  state.SetLabel(bitops::ActiveDispatchName());
+}
+BENCHMARK(BM_RowSweepBitMatrixPrefetch)
+    ->Arg(256)
+    ->Arg(2048)
+    ->Arg(16384)
+    ->Arg(65536);
 
 void BM_RowSweepScatteredBitsets(benchmark::State& state) {
   const std::size_t rows = 256;
@@ -196,7 +232,11 @@ void BM_RowSweepScatteredBitsets(benchmark::State& state) {
   state.counters["words"] = static_cast<double>(BitWords(bits));
   state.SetLabel(bitops::ActiveDispatchName());
 }
-BENCHMARK(BM_RowSweepScatteredBitsets)->Arg(256)->Arg(2048);
+BENCHMARK(BM_RowSweepScatteredBitsets)
+    ->Arg(256)
+    ->Arg(2048)
+    ->Arg(16384)
+    ->Arg(65536);
 
 // ---------------------------------------------------------------------------
 // Pre-existing substrate benchmarks.

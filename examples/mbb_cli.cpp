@@ -35,8 +35,14 @@ void Usage() {
       "                              or mvb; default auto\n"
       "  --algorithm NAME            alias for --algo\n"
       "  --timeout SEC               deadline (default 60)\n"
-      "  --threads N                 verification worker threads\n"
-      "                              (default 1; 0 = all hardware threads)\n"
+      "  --threads N|auto            worker threads for the parallel\n"
+      "                              phases (subtree search, bridge scan,\n"
+      "                              verification); default 1, auto = all\n"
+      "                              hardware threads\n"
+      "  --spawn-depth N             fork cutoff of the work-stealing\n"
+      "                              subtree layer (default 0 = auto)\n"
+      "  --deterministic             thread-count-invariant parallel mode:\n"
+      "                              identical result at any --threads\n"
       "  --stats                     print search statistics\n"
       "  --list                      list dataset names and exit\n"
       "  --list-algos                list registered solvers and exit\n";
@@ -50,7 +56,8 @@ std::string CanonicalAlgoName(std::string name) {
 }
 
 MbbResult Solve(const std::string& algorithm, const BipartiteGraph& g,
-                double timeout, std::uint32_t threads) {
+                double timeout, std::uint32_t threads,
+                std::uint32_t spawn_depth, bool deterministic) {
   if (algorithm == "mvb") {
     MbbResult r;
     r.best = MaximumVertexBiclique(g);
@@ -58,6 +65,8 @@ MbbResult Solve(const std::string& algorithm, const BipartiteGraph& g,
   }
   SolverOptions options = SolverOptions::WithTimeout(timeout);
   options.num_threads = threads;
+  options.spawn_depth = spawn_depth;
+  options.deterministic = deterministic;
   return SolverRegistry::Solve(algorithm, g, options);
 }
 
@@ -75,6 +84,8 @@ int main(int argc, char** argv) {
   double scale = 0.05;
   double timeout = 60.0;
   std::uint32_t threads = 1;
+  std::uint32_t spawn_depth = 0;
+  bool deterministic = false;
   bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -120,8 +131,36 @@ int main(int argc, char** argv) {
     } else if (arg == "--threads") {
       const std::string value = next_value();
       if (!missing_value) {
-        threads = static_cast<std::uint32_t>(std::stoul(value));
+        if (value == "auto") {
+          threads = 0;  // SolverOptions: 0 = one per hardware thread
+        } else {
+          // "0" and negative counts have bitten users before: 0 silently
+          // meant "all cores" and a negative wrapped through stoul into
+          // billions of workers. Ask for "auto" explicitly instead.
+          long parsed = 0;
+          try {
+            parsed = std::stol(value);
+          } catch (const std::exception&) {
+            std::cerr << "--threads expects a positive integer or 'auto', "
+                         "got '" << value << "'\n";
+            return 1;
+          }
+          if (parsed <= 0) {
+            std::cerr << "--threads must be >= 1 (got " << value
+                      << "); use --threads=auto for one per hardware "
+                         "thread\n";
+            return 1;
+          }
+          threads = static_cast<std::uint32_t>(parsed);
+        }
       }
+    } else if (arg == "--spawn-depth") {
+      const std::string value = next_value();
+      if (!missing_value) {
+        spawn_depth = static_cast<std::uint32_t>(std::stoul(value));
+      }
+    } else if (arg == "--deterministic") {
+      deterministic = true;
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--list") {
@@ -178,7 +217,8 @@ int main(int argc, char** argv) {
             << "\n";
 
   WallTimer timer;
-  const MbbResult result = Solve(algorithm, g, timeout, threads);
+  const MbbResult result =
+      Solve(algorithm, g, timeout, threads, spawn_depth, deterministic);
   const double seconds = timer.Seconds();
 
   std::cout << "algorithm: " << algorithm << "\n"
@@ -203,6 +243,11 @@ int main(int argc, char** argv) {
               << s.subgraphs_pruned_degeneracy << "/"
               << s.subgraphs_searched << "/" << s.subgraphs_skipped
               << " step=S" << s.terminated_step << "\n";
+    if (s.tasks_spawned > 0) {
+      std::cout << "       subtree tasks spawned/stolen=" << s.tasks_spawned
+                << "/" << s.tasks_stolen
+                << " shared_bound_prunes=" << s.shared_bound_prunes << "\n";
+    }
   }
   return 0;
 }

@@ -25,7 +25,7 @@ const char* ToString(AdpVariant variant) {
 }
 
 MbbResult AdpSolve(const BipartiteGraph& g, AdpVariant variant,
-                   const SearchLimits& limits) {
+                   const SearchLimits& limits, std::uint32_t num_threads) {
   const bool use_sbmnas =
       variant == AdpVariant::kAdp3 || variant == AdpVariant::kAdp4;
   const bool use_fmbe =
@@ -66,9 +66,11 @@ MbbResult AdpSolve(const BipartiteGraph& g, AdpVariant variant,
   const InducedSubgraph reduced = g.Induce(kept.left, kept.right);
 
   // Step 3: adapted MBE exhaustive search with the incumbent as bound.
-  MbbResult search = use_fmbe
-                         ? FmbeSolve(reduced.graph, limits, best_size)
-                         : ImbeaSolve(reduced.graph, limits, best_size);
+  // Only the FMBE engine fans out: iMBEA's single consensus-tree traversal
+  // has no independent per-scope unit of work to distribute.
+  MbbResult search =
+      use_fmbe ? FmbeSolve(reduced.graph, limits, best_size, num_threads)
+               : ImbeaSolve(reduced.graph, limits, best_size);
   out.stats.Merge(search.stats);
   out.exact = search.exact;
   out.stats.terminated_step = 3;

@@ -22,9 +22,13 @@ enum class AdpVariant { kAdp1, kAdp2, kAdp3, kAdp4 };
 const char* ToString(AdpVariant variant);
 
 /// Runs the selected adapted baseline. Exact (up to `limits`); result in
-/// `g`'s ids.
+/// `g`'s ids. `num_threads` reaches the FMBE engine's per-scope fan-out
+/// (adp1/adp3; 1 = sequential, 0 = one per hardware thread); the iMBEA
+/// engine (adp2/adp4) enumerates maximal bicliques through one shared
+/// consensus-tree traversal and stays sequential at any setting.
 MbbResult AdpSolve(const BipartiteGraph& g, AdpVariant variant,
-                   const SearchLimits& limits = {});
+                   const SearchLimits& limits = {},
+                   std::uint32_t num_threads = 1);
 
 }  // namespace mbb
 

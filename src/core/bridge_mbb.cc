@@ -1,7 +1,10 @@
 #include "core/bridge_mbb.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
+#include "engine/parallel.h"
 #include "engine/search_context.h"
 #include "order/core_decomposition.h"
 
@@ -23,6 +26,125 @@ SideLists Split(const CenteredSubgraph& s) {
   return {&s.other_side, &s.same_side};
 }
 
+/// One centre's scan result in the parallel path. Slots are written by
+/// exactly one worker and reduced on the caller in rank order, which is
+/// what makes the parallel scan's answer independent of worker timing.
+struct CenterScan {
+  enum class Outcome : std::uint8_t { kKept, kPrunedSize, kPrunedDegeneracy };
+  Outcome outcome = Outcome::kPrunedSize;
+  CenteredSubgraph subgraph;         // only populated when kept
+  std::uint32_t degeneracy = 0;      // of the induced subgraph (re-filter)
+  Biclique improvement;              // reduced-graph ids; empty when none
+  std::uint32_t improvement_size = 0;
+};
+
+/// Parallel centred-subgraph scan. Correctness note: a centre pruned
+/// against *any* incumbent snapshot (which is always >= the incoming bound
+/// and <= the final bound) can never carry a biclique beating the final
+/// bound, so pruning against a concurrently raised snapshot loses nothing;
+/// and whoever first raises the shared snapshot to the maximum recorded its
+/// own improvement, so the maximal size always survives to the reduce. The
+/// final incumbent size and the survivor set therefore match the
+/// sequential scan at any timing; in deterministic mode (snapshots never
+/// move) every maximal centre records, the rank-order reduce picks the
+/// lowest rank, and even the witness biclique is the sequential one.
+BridgeOutcome BridgeMbbParallel(const BipartiteGraph& reduced,
+                                std::uint32_t initial_best_size,
+                                const BridgeOptions& options,
+                                const VertexOrder& order,
+                                std::size_t num_threads) {
+  BridgeOutcome out;
+  out.best_size = initial_best_size;
+  out.stats.terminated_step = 2;
+
+  const std::size_t num_centers = order.order.size();
+  std::vector<CenterScan> results(num_centers);
+  SharedBound shared(initial_best_size);
+
+  struct WorkerState {
+    CenteredWorkspace workspace;
+    SearchContext ctx;
+  };
+  std::vector<WorkerState> workers(num_threads);
+
+  ParallelFor(num_threads, num_centers, [&](std::size_t worker,
+                                            std::size_t item) {
+    WorkerState& ws = workers[worker];
+    CenterScan& slot = results[item];
+    const std::uint32_t snapshot =
+        options.deterministic ? initial_best_size : shared.Load();
+    CenteredSubgraph s = BuildCenteredSubgraph(reduced, order,
+                                               order.order[item],
+                                               ws.workspace);
+    const SideLists lists = Split(s);
+    if (std::min(lists.left->size(), lists.right->size()) <= snapshot) {
+      slot.outcome = CenterScan::Outcome::kPrunedSize;
+      return;
+    }
+    InducedSubgraph induced = reduced.Induce(*lists.left, *lists.right);
+    if (options.use_degeneracy_pruning) {
+      slot.degeneracy = ComputeCores(induced.graph).degeneracy;
+      if (slot.degeneracy <= snapshot) {
+        slot.outcome = CenterScan::Outcome::kPrunedDegeneracy;
+        return;
+      }
+    }
+    if (options.use_local_heuristic) {
+      std::vector<std::uint32_t>& scores = ws.ctx.ScoreScratch();
+      DegreeScoresInto(induced.graph, scores);
+      Biclique local = GreedyMbb(induced.graph, scores, options.greedy);
+      if (local.BalancedSize() > snapshot) {
+        slot.improvement_size = local.BalancedSize();
+        for (VertexId& l : local.left) l = induced.left_to_old[l];
+        for (VertexId& r : local.right) r = induced.right_to_old[r];
+        slot.improvement = std::move(local);
+        if (!options.deterministic) shared.RaiseTo(slot.improvement_size);
+      }
+    }
+    slot.outcome = CenterScan::Outcome::kKept;
+    slot.subgraph = std::move(s);
+  });
+
+  // Rank-order reduce: adopt strictly-greater improvements (first maximal
+  // winner, as in the sequential scan) and bucket the prunes.
+  out.stats.subgraphs_total = num_centers;
+  for (CenterScan& slot : results) {
+    switch (slot.outcome) {
+      case CenterScan::Outcome::kPrunedSize:
+        ++out.stats.subgraphs_pruned_size;
+        break;
+      case CenterScan::Outcome::kPrunedDegeneracy:
+        ++out.stats.subgraphs_pruned_degeneracy;
+        break;
+      case CenterScan::Outcome::kKept:
+        if (slot.improvement_size > out.best_size) {
+          out.best_size = slot.improvement_size;
+          out.improved = true;
+          out.best = std::move(slot.improvement);
+        }
+        break;
+    }
+  }
+
+  // Re-filter survivors against the final incumbent, in rank order — the
+  // same pass the sequential scan runs.
+  for (CenterScan& slot : results) {
+    if (slot.outcome != CenterScan::Outcome::kKept) continue;
+    const SideLists lists = Split(slot.subgraph);
+    if (std::min(lists.left->size(), lists.right->size()) <= out.best_size) {
+      ++out.stats.subgraphs_pruned_size;
+      continue;
+    }
+    if (options.use_degeneracy_pruning &&
+        slot.degeneracy <= out.best_size) {
+      ++out.stats.subgraphs_pruned_degeneracy;
+      continue;
+    }
+    out.survivors.push_back(std::move(slot.subgraph));
+  }
+  return out;
+}
+
 }  // namespace
 
 BridgeOutcome BridgeMbb(const BipartiteGraph& reduced,
@@ -37,6 +159,13 @@ BridgeOutcome BridgeMbb(const BipartiteGraph& reduced,
 
   // Line 1-2: order + vertex-centred subgraphs.
   const VertexOrder order = ComputeVertexOrder(reduced, options.order);
+
+  const std::size_t scan_threads =
+      EffectiveThreadCount(options.num_threads, order.order.size());
+  if (scan_threads > 1) {
+    return BridgeMbbParallel(reduced, initial_best_size, options, order,
+                             scan_threads);
+  }
 
   struct Survivor {
     CenteredSubgraph subgraph;

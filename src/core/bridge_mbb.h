@@ -26,6 +26,17 @@ struct BridgeOptions {
   /// Run the local core-based greedy on surviving subgraphs to tighten the
   /// incumbent before verification ("heuLocal" in Figure 4).
   bool use_local_heuristic = true;
+  /// Workers for the centred-subgraph scan (0 = one per hardware thread,
+  /// 1 = the sequential scan). Parallel workers prune against a shared
+  /// atomic incumbent snapshot and the reduce picks the lowest-rank winner,
+  /// so the returned incumbent and survivor set match the sequential scan
+  /// exactly; only the per-bucket prune attribution can shift with timing.
+  std::uint32_t num_threads = 1;
+  /// Prune against the incoming incumbent only (no cross-worker snapshot),
+  /// making every counter — not just the result — identical at every
+  /// thread count, at the cost of running the local greedy on centres a
+  /// live bound would have skipped.
+  bool deterministic = false;
   GreedyOptions greedy;
 };
 

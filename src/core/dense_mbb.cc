@@ -1,13 +1,58 @@
 #include "core/dense_mbb.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/dynamic_mbb.h"
+#include "engine/parallel.h"
 #include "engine/search_context.h"
+#include "graph/bitset.h"
 
 namespace mbb {
 
 namespace {
+
+/// Snapshot of an inclusion branch forked at a shallow branch node: the
+/// fixed sides, deep copies of the candidate sets (a forked subtree cannot
+/// alias its spawner's pooled frames), and the spawner's incumbent at fork
+/// time. `path` identifies the subtree's position in the task tree: the
+/// spawner's path plus this fork's per-spawner ordinal.
+struct SubtreeTask {
+  std::vector<VertexId> a;
+  std::vector<VertexId> b;
+  Bitset ca;
+  Bitset cb;
+  std::uint32_t ca_count = 0;
+  std::uint32_t cb_count = 0;
+  std::uint32_t depth = 0;
+  std::uint32_t bound_snapshot = 0;
+  std::vector<std::uint32_t> path;
+};
+
+/// Where a splitting searcher hands forked subtrees. Decouples the searcher
+/// from the scheduler so the sequential path pays nothing.
+class TaskSink {
+ public:
+  virtual ~TaskSink() = default;
+  virtual void Fork(SubtreeTask task) = 0;
+};
+
+/// "Earlier in sequential depth-first order" for task paths. A spawner's
+/// inline work runs before any of its forks (prefix first), and because the
+/// sequential recursion explores exclusion before inclusion, the fork made
+/// deepest on the spine — the *highest* ordinal — is reached first when
+/// unwinding. Used by the deterministic reduce to break size ties.
+bool PathBefore(const std::vector<std::uint32_t>& x,
+                const std::vector<std::uint32_t>& y) {
+  const std::size_t n = std::min(x.size(), y.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (x[i] != y[i]) return x[i] > y[i];
+  }
+  return x.size() < y.size();
+}
 
 /// Restores a vector's size on scope exit; used to undo Lemma 1 promotions
 /// and branch inclusions when unwinding the recursion.
@@ -27,17 +72,40 @@ class DenseMbbSearcher {
  public:
   DenseMbbSearcher(const DenseSubgraph& g, const DenseMbbOptions& options,
                    std::uint32_t initial_best, SearchContext& context)
-      : g_(g), options_(options), best_size_(initial_best), ctx_(context) {}
+      : g_(g),
+        options_(options),
+        best_size_(initial_best),
+        own_best_size_(initial_best),
+        ctx_(context) {}
+
+  /// Makes branch nodes at depth < `spawn_depth` fork their inclusion
+  /// branch into `sink` instead of exploring it inline. `path` is this
+  /// searcher's own position in the task tree (empty for the root).
+  void EnableSplitting(TaskSink* sink, std::uint32_t spawn_depth,
+                       std::vector<std::uint32_t> path) {
+    sink_ = sink;
+    spawn_depth_ = spawn_depth;
+    path_ = std::move(path);
+  }
 
   /// `root` holds the initial candidate sets; deeper levels draw their
   /// scratch from the pooled context instead of allocating per branch.
   MbbResult Run(std::vector<VertexId> a, std::vector<VertexId> b,
                 SearchContext::BranchFrame& root) {
+    return RunFrom(std::move(a), std::move(b), root,
+                   static_cast<std::uint32_t>(root.ca.Count()),
+                   static_cast<std::uint32_t>(root.cb.Count()), /*depth=*/0);
+  }
+
+  /// Resumes a search mid-tree: a forked subtree re-enters here with its
+  /// snapshot state and the depth it was forked at (the counts are carried
+  /// in the task, so nothing is re-counted).
+  MbbResult RunFrom(std::vector<VertexId> a, std::vector<VertexId> b,
+                    SearchContext::BranchFrame& root, std::uint32_t ca_count,
+                    std::uint32_t cb_count, std::uint32_t depth) {
     a_ = std::move(a);
     b_ = std::move(b);
-    Rec(root.ca, root.cb, static_cast<std::uint32_t>(root.ca.Count()),
-        static_cast<std::uint32_t>(root.cb.Count()), /*depth=*/0,
-        /*level=*/0);
+    Rec(root.ca, root.cb, ca_count, cb_count, depth, /*level=*/0);
     MbbResult out;
     out.best = std::move(best_);
     out.best.MakeBalanced();
@@ -77,6 +145,11 @@ class DenseMbbSearcher {
             static_cast<std::uint32_t>(b_.size()) + cb_count;
         if (std::min(potential_a, potential_b) <= best_size_) {
           ++stats_.bound_prunes;
+          // Attribute the cut when only a concurrently raised bound (not
+          // this searcher's own incumbent) made it fire.
+          if (std::min(potential_a, potential_b) > own_best_size_) {
+            ++stats_.shared_bound_prunes;
+          }
           return false;
         }
         if (ca_count == 0 || cb_count == 0) {
@@ -86,8 +159,13 @@ class DenseMbbSearcher {
         if (!options_.use_reductions) break;
 
         bool changed = false;
-        // Left candidates.
-        for (int u = ca.FindFirst(); u >= 0; u = ca.FindNext(u)) {
+        // Left candidates. Each iteration reads one adjacency row a fixed
+        // stride away from the last; the next row is prefetched while the
+        // current one is counted (resetting bit `u` never disturbs
+        // `FindNext(u)`, so the lookahead is safe under removal).
+        for (int u = ca.FindFirst(); u >= 0;) {
+          const int next = ca.FindNext(static_cast<std::size_t>(u));
+          if (next >= 0) g_.LeftRow(static_cast<VertexId>(next)).Prefetch();
           const std::uint32_t du = static_cast<std::uint32_t>(
               g_.LeftRow(static_cast<VertexId>(u)).CountAnd(cb));
           if (du == cb_count) {
@@ -103,9 +181,12 @@ class DenseMbbSearcher {
             ++stats_.reduction_removed;
             changed = true;
           }
+          u = next;
         }
         // Right candidates.
-        for (int v = cb.FindFirst(); v >= 0; v = cb.FindNext(v)) {
+        for (int v = cb.FindFirst(); v >= 0;) {
+          const int next = cb.FindNext(static_cast<std::size_t>(v));
+          if (next >= 0) g_.RightRow(static_cast<VertexId>(next)).Prefetch();
           const std::uint32_t dv = static_cast<std::uint32_t>(
               g_.RightRow(static_cast<VertexId>(v)).CountAnd(ca));
           if (dv == ca_count) {
@@ -121,6 +202,7 @@ class DenseMbbSearcher {
             ++stats_.reduction_removed;
             changed = true;
           }
+          v = next;
         }
         if (!changed) break;
       }
@@ -133,7 +215,9 @@ class DenseMbbSearcher {
       std::uint32_t max_missing = 0;
       std::uint32_t nonfull_left = 0;
       std::uint32_t nonfull_right = 0;
-      for (int u = ca.FindFirst(); u >= 0; u = ca.FindNext(u)) {
+      for (int u = ca.FindFirst(); u >= 0;) {
+        const int next = ca.FindNext(static_cast<std::size_t>(u));
+        if (next >= 0) g_.LeftRow(static_cast<VertexId>(next)).Prefetch();
         const std::uint32_t du = static_cast<std::uint32_t>(
             g_.LeftRow(static_cast<VertexId>(u)).CountAnd(cb));
         const std::uint32_t missing = cb_count - du;
@@ -143,8 +227,11 @@ class DenseMbbSearcher {
           branch_side = Side::kLeft;
           branch_vertex = static_cast<VertexId>(u);
         }
+        u = next;
       }
-      for (int v = cb.FindFirst(); v >= 0; v = cb.FindNext(v)) {
+      for (int v = cb.FindFirst(); v >= 0;) {
+        const int next = cb.FindNext(static_cast<std::size_t>(v));
+        if (next >= 0) g_.RightRow(static_cast<VertexId>(next)).Prefetch();
         const std::uint32_t dv = static_cast<std::uint32_t>(
             g_.RightRow(static_cast<VertexId>(v)).CountAnd(ca));
         const std::uint32_t missing = ca_count - dv;
@@ -154,6 +241,7 @@ class DenseMbbSearcher {
           branch_side = Side::kRight;
           branch_vertex = static_cast<VertexId>(v);
         }
+        v = next;
       }
 
       // Matching (König) bound — one of the paper's unstated "obvious
@@ -195,6 +283,7 @@ class DenseMbbSearcher {
         if (outcome.improved) {
           best_ = outcome.best;
           best_size_ = best_.BalancedSize();
+          own_best_size_ = best_size_;
           PublishSharedBound();
         }
         return false;
@@ -209,6 +298,26 @@ class DenseMbbSearcher {
           branch_side = Side::kRight;
           branch_vertex = static_cast<VertexId>(cb.FindFirst());
         }
+      }
+
+      // Shallow branch nodes fork the inclusion branch as a stealable task
+      // and keep walking the exclusion spine inline — the same exploration
+      // order as the sequential recursion when nothing is stolen (owner
+      // pops are LIFO), but any idle worker can pick the fork up. Below
+      // `spawn_depth_` the recursion proceeds sequentially, so the fused
+      // SIMD refinement loops below run exactly as in the 1-thread build.
+      if (sink_ != nullptr && depth < spawn_depth_) {
+        ForkInclusion(ca, cb, ca_count, cb_count, depth, branch_side,
+                      branch_vertex);
+        ++stats_.tasks_spawned;
+        (branch_side == Side::kLeft ? ca : cb).Reset(branch_vertex);
+        if (branch_side == Side::kLeft) {
+          --ca_count;
+        } else {
+          --cb_count;
+        }
+        ++depth;
+        continue;
       }
 
       // Exclusion branch first (recursive call): excluding the vertex with
@@ -270,9 +379,46 @@ class DenseMbbSearcher {
     });
     if (candidate.BalancedSize() > best_size_) {
       best_size_ = candidate.BalancedSize();
+      own_best_size_ = best_size_;
       best_ = std::move(candidate);
       PublishSharedBound();
     }
+  }
+
+  /// Builds the inclusion-branch snapshot for the current branch node and
+  /// hands it to the sink. Deep copies: the fork outlives this frame.
+  void ForkInclusion(const BitRow& ca, const BitRow& cb,
+                     std::uint32_t ca_count, std::uint32_t cb_count,
+                     std::uint32_t depth, Side branch_side,
+                     VertexId branch_vertex) {
+    SubtreeTask task;
+    task.a = a_;
+    task.b = b_;
+    task.depth = depth + 1;
+    // In deterministic mode `best_size_` never reflects concurrent finds,
+    // so this snapshot — and with it the fork's whole traversal — is a pure
+    // function of the task tree, independent of thread count.
+    task.bound_snapshot = best_size_;
+    task.path = path_;
+    task.path.push_back(spawn_ordinal_++);
+    if (branch_side == Side::kLeft) {
+      task.a.push_back(branch_vertex);
+      task.ca = Bitset(ca.Span());
+      task.ca.Reset(branch_vertex);
+      task.ca_count = ca_count - 1;
+      task.cb = Bitset(cb.Span());
+      task.cb_count = static_cast<std::uint32_t>(
+          task.cb.Row().AndCountAssign(g_.LeftRow(branch_vertex)));
+    } else {
+      task.b.push_back(branch_vertex);
+      task.cb = Bitset(cb.Span());
+      task.cb.Reset(branch_vertex);
+      task.cb_count = cb_count - 1;
+      task.ca = Bitset(ca.Span());
+      task.ca_count = static_cast<std::uint32_t>(
+          task.ca.Row().AndCountAssign(g_.RightRow(branch_vertex)));
+    }
+    sink_->Fork(std::move(task));
   }
 
   /// Adopts a tighter incumbent found by a concurrent searcher. The local
@@ -356,12 +502,211 @@ class DenseMbbSearcher {
   const DenseSubgraph& g_;
   const DenseMbbOptions& options_;
   std::uint32_t best_size_;
+  /// Best size this searcher found itself (excluding adopted shared
+  /// bounds); the gap to `best_size_` is what `shared_bound_prunes`
+  /// attributes to concurrent workers.
+  std::uint32_t own_best_size_;
   SearchContext& ctx_;
   std::vector<VertexId> a_;
   std::vector<VertexId> b_;
   Biclique best_;
   SearchStats stats_;
+
+  // Subtree forking (EnableSplitting); null sink = plain sequential search.
+  TaskSink* sink_ = nullptr;
+  std::uint32_t spawn_depth_ = 0;
+  std::vector<std::uint32_t> path_;
+  std::uint32_t spawn_ordinal_ = 0;
 };
+
+/// Default fork cutoff when `spawn_depth == 0`. Depends on the root
+/// candidate count only — never on the thread count — so the task tree the
+/// deterministic mode reduces over is invariant across `num_threads`. Small
+/// instances resolve to 0: the task bookkeeping would cost more than the
+/// subtree it ships.
+std::uint32_t AutoSpawnDepth(std::uint32_t num_candidates) {
+  if (num_candidates < 64) return 0;
+  std::uint32_t depth = 3;
+  for (std::uint32_t c = num_candidates; c >= 512 && depth < 10; c >>= 1) {
+    ++depth;
+  }
+  return depth;
+}
+
+/// A biclique recorded by one forked subtree, tagged with the subtree's
+/// position for the deterministic reduce.
+struct SubtreeRecord {
+  Biclique best;
+  std::uint32_t size = 0;
+  std::vector<std::uint32_t> path;
+};
+
+/// Runs one denseMBB search as a work-stealing task graph: every fork made
+/// above `spawn_depth` lands in the spawning worker's deque, idle workers
+/// steal the oldest (largest) forks, and each task runs the unchanged
+/// sequential searcher over its own pooled context. In the default mode
+/// tasks share the atomic incumbent; in deterministic mode they prune
+/// against their fork-time snapshot and the reduce picks the earliest
+/// winner in sequential depth-first order.
+class ParallelDenseDriver {
+ public:
+  ParallelDenseDriver(const DenseSubgraph& g, const DenseMbbOptions& options,
+                      std::uint32_t spawn_depth, std::size_t num_workers,
+                      std::uint32_t initial_best)
+      : g_(g),
+        spawn_depth_(spawn_depth),
+        max_bits_(std::max(g.num_left(), g.num_right())),
+        local_bound_(initial_best),
+        scheduler_(num_workers),
+        workers_(num_workers) {
+    task_options_ = options;
+    task_options_.num_threads = 1;
+    if (options.deterministic) {
+      // Snapshot bounds only: a live shared incumbent would make each
+      // task's traversal depend on concurrent timing.
+      task_options_.shared_bound = nullptr;
+    } else if (task_options_.shared_bound == nullptr) {
+      task_options_.shared_bound = &local_bound_;
+    }
+    if (task_options_.limits.stop_token == nullptr) {
+      // All tasks must share one token so the first limit observation
+      // stops the whole fleet, exactly like the verify fan-out.
+      task_options_.limits.stop_token = std::make_shared<StopToken>();
+    }
+  }
+
+  MbbResult Solve(SubtreeTask root) {
+    EnqueueTask(/*worker=*/0, std::move(root));
+    scheduler_.Run();
+
+    MbbResult out;
+    const SubtreeRecord* winner = nullptr;
+    for (WorkerState& ws : workers_) {
+      out.stats.Merge(ws.stats);
+      for (const SubtreeRecord& record : ws.records) {
+        if (winner == nullptr || record.size > winner->size ||
+            (record.size == winner->size &&
+             PathBefore(record.path, winner->path))) {
+          winner = &record;
+        }
+      }
+    }
+    if (winner != nullptr) out.best = winner->best;
+    out.stats.tasks_stolen = scheduler_.tasks_stolen();
+    out.exact = !out.stats.timed_out;
+    return out;
+  }
+
+ private:
+  struct WorkerState {
+    SearchContext ctx;
+    SearchStats stats;
+    std::vector<SubtreeRecord> records;
+  };
+
+  /// Per-execution adapter giving the searcher a worker-indexed Fork.
+  struct WorkerSink final : TaskSink {
+    ParallelDenseDriver* driver = nullptr;
+    std::size_t worker = 0;
+    void Fork(SubtreeTask task) override {
+      driver->EnqueueTask(worker, std::move(task));
+    }
+  };
+
+  void EnqueueTask(std::size_t worker, SubtreeTask task) {
+    // std::function requires copyable callables, so the snapshot rides in
+    // a shared_ptr; one allocation per fork is noise next to the subtree.
+    auto boxed = std::make_shared<SubtreeTask>(std::move(task));
+    scheduler_.Spawn(worker, [this, boxed](std::size_t executing_worker) {
+      RunTask(executing_worker, *boxed);
+    });
+  }
+
+  void RunTask(std::size_t worker, SubtreeTask& task) {
+    WorkerState& ws = workers_[worker];
+    ws.ctx.PrepareFrames(max_bits_);
+    std::uint32_t start_bound = task.bound_snapshot;
+    if (task_options_.shared_bound != nullptr) {
+      start_bound = std::max(start_bound, task_options_.shared_bound->Load());
+    }
+    DenseMbbSearcher searcher(g_, task_options_, start_bound, ws.ctx);
+    WorkerSink sink;
+    sink.driver = this;
+    sink.worker = worker;
+    std::vector<std::uint32_t> path = task.path;
+    searcher.EnableSplitting(&sink, spawn_depth_, std::move(task.path));
+    SearchContext::BranchFrame& root = ws.ctx.Frame(0);
+    root.ca.CopyFrom(task.ca.Span());
+    root.cb.CopyFrom(task.cb.Span());
+    MbbResult result =
+        searcher.RunFrom(std::move(task.a), std::move(task.b), root,
+                         task.ca_count, task.cb_count, task.depth);
+    ws.stats.Merge(result.stats);
+    if (!result.exact) {
+      // Sequential semantics: the first task to hit a limit aborts the
+      // whole search, not just its own subtree. The incumbent found so far
+      // is still reported below, as in a timed-out sequential search.
+      const StopCause cause = result.stats.stop_cause != StopCause::kNone
+                                  ? result.stats.stop_cause
+                                  : StopCause::kExternal;
+      task_options_.limits.stop_token->RequestStop(cause);
+    }
+    if (result.best.BalancedSize() > 0) {
+      SubtreeRecord record;
+      record.best = std::move(result.best);
+      record.size = record.best.BalancedSize();
+      record.path = std::move(path);
+      ws.records.push_back(std::move(record));
+    }
+  }
+
+  const DenseSubgraph& g_;
+  std::uint32_t spawn_depth_;
+  std::size_t max_bits_;
+  DenseMbbOptions task_options_;
+  SharedBound local_bound_;
+  StealScheduler scheduler_;
+  std::vector<WorkerState> workers_;
+};
+
+/// Decides between the sequential searcher and the work-stealing driver,
+/// then runs the search from `root`. The deterministic mode routes through
+/// the driver even at one worker so every thread count reduces the
+/// identical task tree.
+MbbResult SolveFromRoot(const DenseSubgraph& g, const DenseMbbOptions& options,
+                        std::uint32_t initial_best, std::vector<VertexId> a,
+                        std::vector<VertexId> b,
+                        SearchContext::BranchFrame& root, SearchContext& ctx) {
+  const std::uint32_t ca_count = static_cast<std::uint32_t>(root.ca.Count());
+  const std::uint32_t cb_count = static_cast<std::uint32_t>(root.cb.Count());
+  const std::uint32_t spawn_depth = options.spawn_depth != 0
+                                        ? options.spawn_depth
+                                        : AutoSpawnDepth(ca_count + cb_count);
+  std::size_t workers = 1;
+  if (options.num_threads != 1 && spawn_depth > 0) {
+    // Upper-bound the useful worker count by the fork capacity of the
+    // shallow region (one fork per spine node, ~2^spawn_depth total).
+    const std::size_t max_tasks = std::size_t{1}
+                                  << std::min<std::uint32_t>(spawn_depth, 16);
+    workers = EffectiveThreadCount(options.num_threads, max_tasks);
+  }
+  if (spawn_depth == 0 || (workers <= 1 && !options.deterministic)) {
+    DenseMbbSearcher searcher(g, options, initial_best, ctx);
+    return searcher.RunFrom(std::move(a), std::move(b), root, ca_count,
+                            cb_count, /*depth=*/0);
+  }
+  SubtreeTask task;
+  task.a = std::move(a);
+  task.b = std::move(b);
+  task.ca = Bitset(root.ca.Span());
+  task.cb = Bitset(root.cb.Span());
+  task.ca_count = ca_count;
+  task.cb_count = cb_count;
+  task.depth = 0;
+  task.bound_snapshot = initial_best;
+  ParallelDenseDriver driver(g, options, spawn_depth, workers, initial_best);
+  return driver.Solve(std::move(task));
+}
 
 }  // namespace
 
@@ -370,13 +715,12 @@ MbbResult DenseMbbSolve(const DenseSubgraph& g, const DenseMbbOptions& options,
   SearchContext transient;
   SearchContext& ctx = context != nullptr ? *context : transient;
   ctx.PrepareFrames(std::max(g.num_left(), g.num_right()));
-  DenseMbbSearcher searcher(g, options, initial_best, ctx);
   SearchContext::BranchFrame& root = ctx.Frame(0);
   root.ca.Resize(g.num_left());
   root.ca.SetAll();
   root.cb.Resize(g.num_right());
   root.cb.SetAll();
-  return searcher.Run({}, {}, root);
+  return SolveFromRoot(g, options, initial_best, {}, {}, root, ctx);
 }
 
 MbbResult DenseMbbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
@@ -386,7 +730,6 @@ MbbResult DenseMbbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
   SearchContext transient;
   SearchContext& ctx = context != nullptr ? *context : transient;
   ctx.PrepareFrames(std::max(g.num_left(), g.num_right()));
-  DenseMbbSearcher searcher(g, options, initial_best, ctx);
   SearchContext::BranchFrame& root = ctx.Frame(0);
   root.ca.Resize(g.num_left());
   root.ca.SetAll();
@@ -395,7 +738,7 @@ MbbResult DenseMbbSolveAnchored(const DenseSubgraph& g, VertexId anchor,
   // biclique invariant (every candidate adjacent to all fixed vertices)
   // holds from the start.
   root.cb.CopyFrom(g.LeftRow(anchor));
-  return searcher.Run({anchor}, {}, root);
+  return SolveFromRoot(g, options, initial_best, {anchor}, {}, root, ctx);
 }
 
 }  // namespace mbb

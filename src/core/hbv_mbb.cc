@@ -70,6 +70,8 @@ MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
   bridge_options.order = options.order;
   bridge_options.use_degeneracy_pruning = options.use_core_optimizations;
   bridge_options.greedy = options.greedy;
+  bridge_options.num_threads = options.num_threads;
+  bridge_options.deterministic = options.deterministic;
   BridgeOutcome bridge = BridgeMbb(reduced, best_size, bridge_options, &ctx);
   out.stats.Merge(bridge.stats);
   if (bridge.improved) {
@@ -90,6 +92,8 @@ MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
   verify_options.use_dense_search = options.use_dense_optimizations;
   verify_options.num_threads = options.num_threads;
   verify_options.dense.limits = options.limits;
+  verify_options.dense.spawn_depth = options.spawn_depth;
+  verify_options.dense.deterministic = options.deterministic;
   VerifyOutcome verify =
       VerifyMbb(reduced, best_size, bridge.survivors, verify_options, &ctx);
   out.stats.Merge(verify.stats);
@@ -112,6 +116,9 @@ MbbResult FindMaximumBalancedBiclique(const BipartiteGraph& g,
     const DenseSubgraph dense = DenseSubgraph::Whole(g);
     DenseMbbOptions dense_options;
     dense_options.limits = options.limits;
+    dense_options.num_threads = options.num_threads;
+    dense_options.spawn_depth = options.spawn_depth;
+    dense_options.deterministic = options.deterministic;
     return DenseMbbSolve(dense, dense_options);
   }
   return HbvMbb(g, options);

@@ -34,10 +34,18 @@ struct HbvOptions {
   /// Total search order for the vertex-centred subgraphs (bd4/bd5 use
   /// degree / degeneracy).
   VertexOrderKind order = VertexOrderKind::kBidegeneracy;
-  /// Worker threads for step 3's survivor fan-out (see
-  /// `VerifyOptions::num_threads`): 1 = sequential, 0 = one per hardware
-  /// thread. Steps 1 and 2 are single scans and always run sequentially.
+  /// Worker threads for step 2's centred-subgraph scan, step 3's survivor
+  /// fan-out, and — when step 3 has a single hard survivor — the anchored
+  /// search's work-stealing subtree layer: 1 = sequential, 0 = one per
+  /// hardware thread. Step 1 is a single cheap scan and always runs
+  /// sequentially.
   std::uint32_t num_threads = 1;
+  /// Fork cutoff for subtree parallelism inside anchored dense searches
+  /// (see `DenseMbbOptions::spawn_depth`); 0 = auto.
+  std::uint32_t spawn_depth = 0;
+  /// Thread-count-invariant results for the parallel phases (see
+  /// `DenseMbbOptions::deterministic` / `BridgeOptions::deterministic`).
+  bool deterministic = false;
 
   GreedyOptions greedy;
   SearchLimits limits;

@@ -14,6 +14,9 @@ void SearchStats::Merge(const SearchStats& other) {
   matching_prunes += other.matching_prunes;
   depth_sum += other.depth_sum;
   max_depth = std::max(max_depth, other.max_depth);
+  tasks_spawned += other.tasks_spawned;
+  tasks_stolen += other.tasks_stolen;
+  shared_bound_prunes += other.shared_bound_prunes;
   subgraphs_total += other.subgraphs_total;
   subgraphs_pruned_size += other.subgraphs_pruned_size;
   subgraphs_pruned_degeneracy += other.subgraphs_pruned_degeneracy;

@@ -163,6 +163,16 @@ struct SearchStats {
   std::uint64_t depth_sum = 0;            // summed over recursion entries
   std::uint64_t max_depth = 0;
 
+  // Work-stealing subtree parallelism (denseMBB with num_threads > 1).
+  /// Subtrees forked as tasks at shallow depths (< spawn_depth).
+  std::uint64_t tasks_spawned = 0;
+  /// Spawned subtrees that ran on a worker other than their spawner.
+  std::uint64_t tasks_stolen = 0;
+  /// Bound prunes that fired only because of a bound raised by a concurrent
+  /// searcher (the local incumbent alone would not have pruned) — the
+  /// "work that never happens" benefit of the shared incumbent.
+  std::uint64_t shared_bound_prunes = 0;
+
   // Sparse pipeline (Algorithms 4, 6, 8).
   std::uint64_t subgraphs_total = 0;
   std::uint64_t subgraphs_pruned_size = 0;

@@ -169,7 +169,13 @@ VerifyOutcome VerifyParallel(const BipartiteGraph& reduced,
 
   SharedBound shared_bound(initial_best_size);
   DenseMbbOptions dense_options = options.dense;
-  dense_options.shared_bound = &shared_bound;
+  // The fan-out is the parallelism here: anchored searches stay sequential
+  // inside (no nested work-stealing), and in deterministic mode they prune
+  // against the step-2 incumbent only, so each survivor's search — and the
+  // lowest-index reduce below — is identical at every thread count.
+  dense_options.num_threads = 1;
+  dense_options.shared_bound =
+      dense_options.deterministic ? nullptr : &shared_bound;
   if (dense_options.limits.stop_token == nullptr) {
     // One token for the whole fleet: the first worker whose clock poll sees
     // the deadline trips it, and every other worker aborts at its next
@@ -197,8 +203,10 @@ VerifyOutcome VerifyParallel(const BipartiteGraph& reduced,
                 }
                 SurvivorResult result = ProcessSurvivor(
                     reduced, survivors[item], options, dense_options,
-                    shared_bound.Load(), state.ctx, state.stats);
-                if (result.best_size > 0) {
+                    dense_options.deterministic ? initial_best_size
+                                                : shared_bound.Load(),
+                    state.ctx, state.stats);
+                if (result.best_size > 0 && !dense_options.deterministic) {
                   shared_bound.RaiseTo(result.best_size);
                 }
                 if (!result.exact) {
@@ -254,6 +262,15 @@ VerifyOutcome VerifyMbb(const BipartiteGraph& reduced,
   // few subgraphs the branch frames stop allocating entirely.
   SearchContext transient;
   SearchContext& ctx = context != nullptr ? *context : transient;
+  if (survivors.size() == 1 && options.num_threads != 1) {
+    // A single hard survivor gets no speedup from the fan-out — exactly the
+    // one-worst-case-query scenario — so hand the requested threads to the
+    // anchored search's work-stealing subtree layer instead.
+    VerifyOptions subtree_options = options;
+    subtree_options.dense.num_threads = options.num_threads;
+    return VerifySequential(reduced, initial_best_size, survivors,
+                            subtree_options, ctx);
+  }
   return VerifySequential(reduced, initial_best_size, survivors, options,
                           ctx);
 }

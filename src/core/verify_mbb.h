@@ -26,7 +26,9 @@ struct VerifyOptions {
   /// against one shared atomic incumbent, and share one stop token so a
   /// deadline stops the whole fleet consistently. 1 (the default) runs
   /// sequentially in the caller's thread; 0 = one worker per hardware
-  /// thread.
+  /// thread. With exactly one survivor the requested threads go to the
+  /// anchored search's work-stealing subtree layer (`dense.num_threads`)
+  /// instead, so a single worst-case subgraph still uses every core.
   std::uint32_t num_threads = 1;
   DenseMbbOptions dense;
 };

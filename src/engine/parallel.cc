@@ -54,4 +54,118 @@ void ParallelFor(std::size_t num_threads, std::size_t num_items,
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }
 
+// ---------------------------------------------------------------------------
+// StealDeque
+// ---------------------------------------------------------------------------
+
+void StealDeque::PushBottom(Task task) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tasks_.push_back(std::move(task));
+}
+
+bool StealDeque::PopBottom(Task& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return false;
+  out = std::move(tasks_.back());
+  tasks_.pop_back();
+  return true;
+}
+
+bool StealDeque::StealTop(Task& out) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (tasks_.empty()) return false;
+  out = std::move(tasks_.front());
+  tasks_.pop_front();
+  return true;
+}
+
+std::size_t StealDeque::Size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+// ---------------------------------------------------------------------------
+// StealScheduler
+// ---------------------------------------------------------------------------
+
+StealScheduler::StealScheduler(std::size_t num_workers)
+    : deques_(num_workers == 0 ? 1 : num_workers) {}
+
+void StealScheduler::Spawn(std::size_t worker, Task task) {
+  // Increment before publishing the task: a worker observing
+  // `outstanding_ == 0` can then be certain no task exists anywhere.
+  outstanding_.fetch_add(1, std::memory_order_relaxed);
+  spawned_.fetch_add(1, std::memory_order_relaxed);
+  deques_[worker].PushBottom(std::move(task));
+}
+
+void StealScheduler::Run() {
+  if (deques_.size() == 1) {
+    WorkerLoop(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(deques_.size() - 1);
+    for (std::size_t worker = 1; worker < deques_.size(); ++worker) {
+      threads.emplace_back([this, worker] { WorkerLoop(worker); });
+    }
+    WorkerLoop(0);
+    for (std::thread& thread : threads) thread.join();
+  }
+  if (first_error_ != nullptr) {
+    std::exception_ptr error = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(error);
+  }
+}
+
+void StealScheduler::WorkerLoop(std::size_t worker) {
+  // Per-worker xorshift state for victim selection; seeded by worker index
+  // only, so a given worker probes victims in a reproducible order.
+  std::uint64_t rng = 0x9e3779b97f4a7c15ULL * (worker + 1);
+  Task task;
+  while (true) {
+    if (deques_[worker].PopBottom(task)) {
+      Execute(worker, task);
+      continue;
+    }
+    if (TrySteal(worker, rng, task)) {
+      stolen_.fetch_add(1, std::memory_order_relaxed);
+      Execute(worker, task);
+      continue;
+    }
+    // Nothing local, nothing stealable. `outstanding_` counts spawned but
+    // unfinished tasks, and is incremented before a task becomes visible,
+    // so zero here means the whole task graph is done.
+    if (outstanding_.load(std::memory_order_acquire) == 0) return;
+    std::this_thread::yield();
+  }
+}
+
+bool StealScheduler::TrySteal(std::size_t thief, std::uint64_t& rng,
+                              Task& out) {
+  const std::size_t n = deques_.size();
+  if (n <= 1) return false;
+  rng ^= rng << 13;
+  rng ^= rng >> 7;
+  rng ^= rng << 17;
+  const std::size_t start = static_cast<std::size_t>(rng % n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t victim = (start + i) % n;
+    if (victim == thief) continue;
+    if (deques_[victim].StealTop(out)) return true;
+  }
+  return false;
+}
+
+void StealScheduler::Execute(std::size_t worker, Task& task) {
+  try {
+    task(worker);
+  } catch (...) {
+    const std::lock_guard<std::mutex> lock(error_mutex_);
+    if (first_error_ == nullptr) first_error_ = std::current_exception();
+  }
+  task = nullptr;  // release captured state before signalling completion
+  outstanding_.fetch_sub(1, std::memory_order_release);
+}
+
 }  // namespace mbb

@@ -1,8 +1,14 @@
 #ifndef MBB_ENGINE_PARALLEL_H_
 #define MBB_ENGINE_PARALLEL_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <vector>
 
 namespace mbb {
 
@@ -23,6 +29,85 @@ std::size_t EffectiveThreadCount(std::size_t requested, std::size_t num_items);
 /// stops claiming items; the others drain the rest).
 void ParallelFor(std::size_t num_threads, std::size_t num_items,
                  const std::function<void(std::size_t, std::size_t)>& fn);
+
+/// One worker's end of the work-stealing layer: a double-ended task queue
+/// where the owning worker pushes and pops at the bottom (LIFO — depth-first
+/// order, so an unstolen subtree unwinds exactly like the sequential
+/// recursion) while thieves take from the top (FIFO — the shallowest, i.e.
+/// largest, subtrees migrate, which keeps steals rare and coarse).
+///
+/// Tasks here are whole branch-and-bound subtrees (milliseconds to seconds),
+/// so the deque is guarded by a plain mutex: the lock is contended for
+/// nanoseconds per task, is immune to the ABA/fence subtleties of lock-free
+/// deques, and is trivially clean under TSan.
+class StealDeque {
+ public:
+  using Task = std::function<void(std::size_t)>;  // argument: executing worker
+
+  /// Owner only.
+  void PushBottom(Task task);
+  /// Owner only; newest task first. Returns false when empty.
+  bool PopBottom(Task& out);
+  /// Any thread; oldest task first. Returns false when empty.
+  bool StealTop(Task& out);
+
+  std::size_t Size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::deque<Task> tasks_;
+};
+
+/// Per-search work-stealing scheduler: one deque per worker, random-victim
+/// stealing, and an atomic outstanding-task counter for termination. The
+/// caller is worker 0 and participates in the loop; with one worker no
+/// threads are spawned and tasks run inline in pure LIFO (= sequential
+/// depth-first) order — which is what makes the deterministic search mode
+/// exercise the identical code path at every thread count.
+///
+/// Usage: `Spawn(0, root)` one or more root tasks, then `Run()`. Tasks may
+/// call `Spawn(worker, child)` with the worker index they were invoked with;
+/// spawning onto another worker's deque is not allowed. `Run()` returns
+/// once every task (including transitively spawned ones) has finished; the
+/// first exception thrown by a task is rethrown on the caller after all
+/// workers have drained.
+class StealScheduler {
+ public:
+  using Task = StealDeque::Task;
+
+  explicit StealScheduler(std::size_t num_workers);
+
+  /// Enqueues `task` on `worker`'s own deque. Safe before `Run()` (from the
+  /// caller, as worker 0) and from inside a running task (with the invoking
+  /// worker's index).
+  void Spawn(std::size_t worker, Task task);
+
+  /// Runs until all outstanding tasks have completed. Must be called once,
+  /// from the thread that owns worker 0.
+  void Run();
+
+  std::size_t num_workers() const { return deques_.size(); }
+  /// Total tasks enqueued via Spawn.
+  std::uint64_t tasks_spawned() const {
+    return spawned_.load(std::memory_order_relaxed);
+  }
+  /// Tasks that executed on a worker other than the one that spawned them.
+  std::uint64_t tasks_stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void WorkerLoop(std::size_t worker);
+  bool TrySteal(std::size_t thief, std::uint64_t& rng, Task& out);
+  void Execute(std::size_t worker, Task& task);
+
+  std::vector<StealDeque> deques_;
+  std::atomic<std::size_t> outstanding_{0};
+  std::atomic<std::uint64_t> spawned_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
 
 }  // namespace mbb
 

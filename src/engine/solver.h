@@ -38,12 +38,23 @@ struct SolverOptions {
   /// `SolverRegistry::Solve` — the hook the eval/CLI layers use to
   /// aggregate statistics across runs.
   SearchStats* stats_sink = nullptr;
-  /// Worker threads for solvers with a parallel phase (currently the
-  /// sparse pipeline's verification fan-out in `hbv`/`auto`/`bd*`): 1 =
-  /// sequential, 0 = one per hardware thread. Single-search solvers
-  /// (`dense`, `basic`, the baselines) accept but ignore it — their result
-  /// is identical at any setting.
+  /// Worker threads for the parallel phases: work-stealing subtree
+  /// parallelism inside `dense` (and the anchored searches it backs), the
+  /// bridge scan and verification fan-out in `hbv`/`auto`/`bd*`, and the
+  /// per-centre fan-out of the FMBE-based baselines (`fmbe`, `adp1`,
+  /// `adp3`). 1 = sequential, 0 = one per hardware thread. Inherently
+  /// single-threaded solvers (`basic`, `imbea`, the heuristics) accept but
+  /// ignore it — their result is identical at any setting.
   std::uint32_t num_threads = 1;
+  /// Fork cutoff for the work-stealing subtree layer inside denseMBB
+  /// searches (see `DenseMbbOptions::spawn_depth`); 0 = auto from the
+  /// candidate-set size.
+  std::uint32_t spawn_depth = 0;
+  /// Thread-count-invariant parallel mode: fixes the split schedule and
+  /// reduction order of every parallel phase so the returned biclique is
+  /// bit-identical at any `num_threads` (see
+  /// `DenseMbbOptions::deterministic`). Costs some cross-worker pruning.
+  bool deterministic = false;
   /// Density threshold of the `auto` solver (denseMBB at or above it,
   /// hbvMBB below).
   double dense_threshold = 0.8;

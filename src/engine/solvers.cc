@@ -53,6 +53,9 @@ class DenseSolver final : public NamedSolver<true> {
                   const SolverOptions& options) const override {
     DenseMbbOptions dense = options.dense;
     dense.limits = options.Limits();
+    dense.num_threads = options.num_threads;
+    dense.spawn_depth = options.spawn_depth;
+    dense.deterministic = options.deterministic;
     SearchContext ctx;
     return DenseMbbSolve(DenseSubgraph::Whole(g), dense,
                          options.initial_bound, &ctx);
@@ -90,6 +93,8 @@ class HbvSolver final : public NamedSolver<true> {
     }
     hbv.limits = options.Limits();
     hbv.num_threads = options.num_threads;
+    hbv.spawn_depth = options.spawn_depth;
+    hbv.deterministic = options.deterministic;
     return HbvMbb(g, hbv);
   }
 
@@ -106,6 +111,8 @@ class AutoSolver final : public NamedSolver<true> {
     HbvOptions hbv = options.hbv;
     hbv.limits = options.Limits();
     hbv.num_threads = options.num_threads;
+    hbv.spawn_depth = options.spawn_depth;
+    hbv.deterministic = options.deterministic;
     return FindMaximumBalancedBiclique(g, hbv, options.dense_threshold);
   }
 };
@@ -137,7 +144,8 @@ class FmbeSolver final : public NamedSolver<true> {
   using NamedSolver::NamedSolver;
   MbbResult Solve(const BipartiteGraph& g,
                   const SolverOptions& options) const override {
-    return FmbeSolve(g, options.Limits(), options.initial_bound);
+    return FmbeSolve(g, options.Limits(), options.initial_bound,
+                     options.num_threads);
   }
 };
 
@@ -152,7 +160,7 @@ class AdaptedSolver final : public NamedSolver<true> {
     const AdpVariant variant = variant_ >= 0
                                    ? static_cast<AdpVariant>(variant_)
                                    : options.adapted_variant;
-    return AdpSolve(g, variant, options.Limits());
+    return AdpSolve(g, variant, options.Limits(), options.num_threads);
   }
 
  private:
