@@ -21,6 +21,10 @@ struct Entry {
   double words = 0;
   double ns_per_op = 0;
   std::string dispatch;
+  /// Extra JSON members spliced verbatim into the record (no braces), e.g.
+  /// `"qps": 120.5, "p99_ms": 8.1`. The serving bench uses this for its
+  /// latency/cache metrics; empty = no extra members.
+  std::string extra;
 };
 
 /// Appends the collected entries to `path` as JSON Lines.
@@ -36,7 +40,9 @@ inline void WriteJsonLines(const std::string& path, const char* binary,
     out << "{\"binary\": \"" << binary_name << "\", \"benchmark\": \""
         << e.name << "\", \"words\": " << static_cast<long long>(e.words)
         << ", \"ns_per_op\": " << e.ns_per_op
-        << ", \"dispatch\": \"" << e.dispatch << "\"}\n";
+        << ", \"dispatch\": \"" << e.dispatch << "\"";
+    if (!e.extra.empty()) out << ", " << e.extra;
+    out << "}\n";
   }
 }
 

@@ -1,0 +1,130 @@
+/// Long-lived serving front end for the solver registry: reads JSON-lines
+/// requests, answers each with one JSON line (see docs/SERVING.md for the
+/// wire protocol).
+///
+///   mbb_serve --stdio                          # request per stdin line
+///   mbb_serve --tcp 7411                       # loopback TCP listener
+///   mbb_serve --unix /tmp/mbb.sock             # Unix-domain listener
+///   echo '{"id":"q1","random":[40,40,0.3,7]}' | mbb_serve --stdio
+///
+/// The transports share one serving core, so the admission queue, the
+/// worker pool, and the result cache span every client.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "serve/net.h"
+#include "serve/server.h"
+
+namespace {
+
+void Usage() {
+  std::cout <<
+      "usage: mbb_serve [transport] [options]\n"
+      "transport (at least one):\n"
+      "  --stdio                     serve requests from stdin (default)\n"
+      "  --tcp PORT                  loopback TCP listener (0 = ephemeral;\n"
+      "                              the bound port is printed)\n"
+      "  --unix PATH                 Unix-domain socket listener\n"
+      "options:\n"
+      "  --workers N                 solver worker threads (default 2,\n"
+      "                              0 = one per hardware thread)\n"
+      "  --queue N                   admission-queue capacity (default 256)\n"
+      "  --cache N                   result-cache entries (default 128,\n"
+      "                              0 disables caching)\n"
+      "  --deadline-ms MS            default per-query deadline (default\n"
+      "                              0 = unlimited)\n"
+      "  --starvation-ms MS          SJF starvation bound (default 500)\n"
+      "  --threads N                 default solver threads per query\n";
+}
+
+bool ParseUint(const char* text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using mbb::serve::Server;
+  using mbb::serve::ServerOptions;
+  using mbb::serve::SocketFrontEnd;
+
+  ServerOptions options;
+  bool use_stdio = false;
+  bool use_tcp = false;
+  bool use_unix = false;
+  std::uint64_t tcp_port = 0;
+  std::string unix_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_uint = [&](std::uint64_t* out) {
+      return i + 1 < argc && ParseUint(argv[++i], out);
+    };
+    std::uint64_t value = 0;
+    if (arg == "--stdio") {
+      use_stdio = true;
+    } else if (arg == "--tcp" && next_uint(&value) && value <= 65535) {
+      use_tcp = true;
+      tcp_port = value;
+    } else if (arg == "--unix" && i + 1 < argc) {
+      use_unix = true;
+      unix_path = argv[++i];
+    } else if (arg == "--workers" && next_uint(&value)) {
+      options.num_workers = static_cast<std::uint32_t>(value);
+    } else if (arg == "--queue" && next_uint(&value) && value > 0) {
+      options.queue_capacity = value;
+    } else if (arg == "--cache" && next_uint(&value)) {
+      options.cache_capacity = value;
+    } else if (arg == "--deadline-ms" && next_uint(&value)) {
+      options.default_deadline_ms = static_cast<double>(value);
+    } else if (arg == "--starvation-ms" && next_uint(&value)) {
+      options.starvation_ms = static_cast<double>(value);
+    } else if (arg == "--threads" && next_uint(&value)) {
+      options.default_threads = static_cast<std::uint32_t>(value);
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::cerr << "unknown or malformed argument: " << arg << "\n";
+      Usage();
+      return 2;
+    }
+  }
+  if (!use_stdio && !use_tcp && !use_unix) use_stdio = true;
+
+  Server server(options);
+  SocketFrontEnd sockets(server);
+  std::string error;
+  if (use_tcp) {
+    if (!sockets.ListenTcp(static_cast<std::uint16_t>(tcp_port), &error)) {
+      std::cerr << "tcp listen failed: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "listening on 127.0.0.1:" << sockets.tcp_port() << "\n";
+  }
+  if (use_unix) {
+    if (!sockets.ListenUnix(unix_path, &error)) {
+      std::cerr << "unix listen failed: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "listening on " << unix_path << "\n";
+  }
+
+  if (use_stdio) {
+    mbb::serve::ServeStdio(server, std::cin, std::cout);
+    sockets.Stop();
+  } else {
+    // Socket-only mode: block until a shutdown command arrives.
+    sockets.WaitUntilStopped();
+    sockets.Stop();
+    server.Drain();
+  }
+  server.Shutdown();
+  return 0;
+}

@@ -210,6 +210,12 @@ struct MbbResult {
   Biclique best;
   SearchStats stats;
   bool exact = true;
+  /// Secondary results for the multi-answer variants (the `topk` solver
+  /// fills it with the k vertex-disjoint bicliques, largest first, `best`
+  /// duplicated as the first entry; the `sizecon` witness may be
+  /// unbalanced and lives in `best` directly). Empty for the ordinary
+  /// single-answer solvers.
+  std::vector<Biclique> pool;
 };
 
 }  // namespace mbb

@@ -2,6 +2,7 @@
 #define MBB_ENGINE_SOLVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
 #include "baselines/adapted.h"
@@ -13,6 +14,8 @@
 #include "graph/bipartite_graph.h"
 
 namespace mbb {
+
+class SearchContext;
 
 /// Unified configuration for every solver behind the `SolverRegistry`.
 ///
@@ -38,6 +41,18 @@ struct SolverOptions {
   /// `SolverRegistry::Solve` — the hook the eval/CLI layers use to
   /// aggregate statistics across runs.
   SearchStats* stats_sink = nullptr;
+  /// External cancellation: when set, every limit check in the solve also
+  /// observes this token, so a second thread (a serving front end, a
+  /// client disconnect handler) can abort a running solve by calling
+  /// `RequestStop(StopCause::kExternal)`. The solvers that already create
+  /// an internal token for their parallel phases adopt this one instead,
+  /// so one trip stops the whole fleet. Null = no external cancellation.
+  std::shared_ptr<StopToken> stop_token;
+  /// When non-null, solvers that take a `SearchContext` (dense, basic,
+  /// sizecon) run in this caller-owned arena instead of a transient one —
+  /// the hook a long-lived server uses to reuse per-worker scratch across
+  /// queries. Not thread-safe: one context per concurrent solve.
+  SearchContext* context = nullptr;
   /// Worker threads for the parallel phases: work-stealing subtree
   /// parallelism inside `dense` (and the anchored searches it backs), the
   /// bridge scan and verification fan-out in `hbv`/`auto`/`bd*`, and the
@@ -68,6 +83,17 @@ struct SolverOptions {
   /// Variant run by the `adapted` solver (`adp1`..`adp4` aliases pin it).
   AdpVariant adapted_variant = AdpVariant::kAdp3;
 
+  /// Side targets of the `sizecon` solver (the §4.2 size-constrained
+  /// (a, b)-biclique decision problem): it reports a biclique with
+  /// `|A| >= size_a` and `|B| >= size_b`, or an empty result when none
+  /// exists. Both default to 1 (any non-empty biclique).
+  std::uint32_t size_a = 1;
+  std::uint32_t size_b = 1;
+  /// Result count of the `topk` solver: the k largest vertex-disjoint
+  /// balanced bicliques, found by peel-and-repeat. The full list lands in
+  /// `MbbResult::pool` (largest first); `best` is the first entry.
+  std::uint32_t top_k = 3;
+
   /// The unified budget as the `SearchLimits` the low-level APIs take.
   SearchLimits Limits() const {
     SearchLimits limits;
@@ -75,6 +101,7 @@ struct SolverOptions {
       limits = SearchLimits::FromSeconds(time_limit_seconds);
     }
     limits.max_recursions = max_recursions;
+    limits.stop_token = stop_token;
     return limits;
   }
 

@@ -18,6 +18,8 @@
 #include "core/basic_bb.h"
 #include "core/dense_mbb.h"
 #include "core/hbv_mbb.h"
+#include "core/size_constrained.h"
+#include "core/top_k.h"
 #include "engine/registry.h"
 #include "engine/search_context.h"
 #include "graph/dense_subgraph.h"
@@ -56,9 +58,10 @@ class DenseSolver final : public NamedSolver<true> {
     dense.num_threads = options.num_threads;
     dense.spawn_depth = options.spawn_depth;
     dense.deterministic = options.deterministic;
-    SearchContext ctx;
+    SearchContext local;
+    SearchContext* ctx = options.context != nullptr ? options.context : &local;
     return DenseMbbSolve(DenseSubgraph::Whole(g), dense,
-                         options.initial_bound, &ctx);
+                         options.initial_bound, ctx);
   }
 };
 
@@ -67,9 +70,10 @@ class BasicSolver final : public NamedSolver<true> {
   using NamedSolver::NamedSolver;
   MbbResult Solve(const BipartiteGraph& g,
                   const SolverOptions& options) const override {
-    SearchContext ctx;
+    SearchContext local;
+    SearchContext* ctx = options.context != nullptr ? options.context : &local;
     return BasicBbSolve(DenseSubgraph::Whole(g), options.Limits(),
-                        options.initial_bound, &ctx);
+                        options.initial_bound, ctx);
   }
 };
 
@@ -168,6 +172,58 @@ class AdaptedSolver final : public NamedSolver<true> {
 };
 
 // ---------------------------------------------------------------------------
+// Problem variants on the same substrate (§4.2 size-constrained decision,
+// vertex-disjoint top-k) — reachable from the serving protocol via the
+// `size_a`/`size_b` and `top_k` knobs.
+// ---------------------------------------------------------------------------
+
+/// `sizecon`: reports a biclique with `|A| >= size_a` and `|B| >= size_b`
+/// (possibly unbalanced — that asymmetry is the point of the variant), or
+/// an empty result when none exists.
+class SizeConstrainedSolver final : public NamedSolver<true> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    bool timed_out = false;
+    MbbResult result;
+    const std::optional<Biclique> witness = FindSizeConstrainedBiclique(
+        DenseSubgraph::Whole(g), options.size_a, options.size_b,
+        options.Limits(), &timed_out);
+    if (witness.has_value()) result.best = *witness;
+    result.stats.timed_out = timed_out;
+    result.exact = !timed_out;
+    return result;
+  }
+};
+
+/// `topk`: the `options.top_k` largest vertex-disjoint balanced bicliques
+/// by peel-and-repeat; the list lands in `MbbResult::pool` (largest
+/// first), `best` is the first entry.
+class TopKSolver final : public NamedSolver<true> {
+ public:
+  using NamedSolver::NamedSolver;
+  MbbResult Solve(const BipartiteGraph& g,
+                  const SolverOptions& options) const override {
+    TopKOptions topk;
+    topk.k = options.top_k;
+    topk.hbv = options.hbv;
+    topk.hbv.limits = options.Limits();
+    topk.hbv.num_threads = options.num_threads;
+    topk.hbv.spawn_depth = options.spawn_depth;
+    topk.hbv.deterministic = options.deterministic;
+    topk.dense_threshold = options.dense_threshold;
+    TopKResult found = TopKMbb(g, topk);
+    MbbResult result;
+    if (!found.bicliques.empty()) result.best = found.bicliques.front();
+    result.pool = std::move(found.bicliques);
+    result.stats = found.stats;
+    result.exact = found.exact;
+    return result;
+  }
+};
+
+// ---------------------------------------------------------------------------
 // Heuristics (IsExact() == false, results report exact == false).
 // ---------------------------------------------------------------------------
 
@@ -246,6 +302,8 @@ MBB_REGISTER_SOLVER(adp4, AdaptedSolver, 3);
 MBB_REGISTER_SOLVER(pols, PolsSolver);
 MBB_REGISTER_SOLVER(sbmnas, SbmnasSolver);
 MBB_REGISTER_SOLVER(brute, BruteSolver);
+MBB_REGISTER_SOLVER(sizecon, SizeConstrainedSolver);
+MBB_REGISTER_SOLVER(topk, TopKSolver);
 
 #undef MBB_REGISTER_SOLVER
 

@@ -1,0 +1,119 @@
+#include "graph/canonical.h"
+
+#include <algorithm>
+#include <bit>
+#include <vector>
+
+namespace mbb {
+
+namespace {
+
+/// splitmix64 finalizer — the standard 64-bit avalanche mix.
+constexpr std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr std::uint64_t Combine(std::uint64_t seed, std::uint64_t value) {
+  return Mix(seed ^ Mix(value));
+}
+
+/// Side tags keep the two colour spaces (and the two fold chains) disjoint,
+/// so mirrored graphs with swapped sides hash differently by design.
+constexpr std::uint64_t kLeftTag = 0x6d62625f6c656674ULL;   // "mbb_left"
+constexpr std::uint64_t kRightTag = 0x6d62627267687421ULL;  // "mbbrght!"
+
+/// One refinement round for one side: `out[v] = hash(colors[v], sorted
+/// multiset of the opposite side's colours over N(v))`.
+void RefineSide(const BipartiteGraph& g, Side side,
+                const std::vector<std::uint64_t>& own,
+                const std::vector<std::uint64_t>& opposite,
+                std::vector<std::uint64_t>& out,
+                std::vector<std::uint64_t>& scratch) {
+  const std::uint32_t n = g.NumVertices(side);
+  out.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto neighbors = g.Neighbors(side, v);
+    scratch.clear();
+    scratch.reserve(neighbors.size());
+    for (const VertexId u : neighbors) scratch.push_back(opposite[u]);
+    std::sort(scratch.begin(), scratch.end());
+    std::uint64_t h = own[v];
+    for (const std::uint64_t c : scratch) h = Combine(h, c);
+    out[v] = Mix(h);
+  }
+}
+
+/// Order-invariant fold of one side's final colour multiset.
+std::uint64_t FoldSorted(std::vector<std::uint64_t> colors,
+                         std::uint64_t seed) {
+  std::sort(colors.begin(), colors.end());
+  std::uint64_t h = seed;
+  for (const std::uint64_t c : colors) h = Combine(h, c);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t CanonicalGraphHash(const BipartiteGraph& g, int rounds) {
+  const std::uint32_t n = g.NumVertices();
+  if (rounds <= 0) {
+    rounds = 2 + (n > 1 ? std::bit_width(n - 1) : 0);
+  }
+
+  std::vector<std::uint64_t> left(g.num_left());
+  std::vector<std::uint64_t> right(g.num_right());
+  for (VertexId v = 0; v < g.num_left(); ++v) {
+    left[v] = Combine(kLeftTag, g.Degree(Side::kLeft, v));
+  }
+  for (VertexId v = 0; v < g.num_right(); ++v) {
+    right[v] = Combine(kRightTag, g.Degree(Side::kRight, v));
+  }
+
+  std::vector<std::uint64_t> next_left;
+  std::vector<std::uint64_t> next_right;
+  std::vector<std::uint64_t> scratch;
+  for (int round = 0; round < rounds; ++round) {
+    // Both sides refine against the *previous* round's colours, so the
+    // result is independent of which side is processed first.
+    RefineSide(g, Side::kLeft, left, right, next_left, scratch);
+    RefineSide(g, Side::kRight, right, left, next_right, scratch);
+    left.swap(next_left);
+    right.swap(next_right);
+  }
+
+  std::uint64_t h = Combine(Combine(Mix(g.num_left()), Mix(g.num_right())),
+                            Mix(g.num_edges()));
+  h = Combine(h, FoldSorted(std::move(left), kLeftTag));
+  h = Combine(h, FoldSorted(std::move(right), kRightTag));
+  return h;
+}
+
+std::uint64_t ExactGraphHash(const BipartiteGraph& g) {
+  std::uint64_t h = Combine(Mix(g.num_left()), Mix(g.num_right()));
+  // CSR adjacency is sorted per vertex, so this walks the edges in
+  // (left, right) order without materialising CollectEdges().
+  for (VertexId l = 0; l < g.num_left(); ++l) {
+    for (const VertexId r : g.Neighbors(Side::kLeft, l)) {
+      h = Combine(h, (static_cast<std::uint64_t>(l) << 32) | r);
+    }
+  }
+  return h;
+}
+
+bool GraphsEqual(const BipartiteGraph& a, const BipartiteGraph& b) {
+  if (a.num_left() != b.num_left() || a.num_right() != b.num_right() ||
+      a.num_edges() != b.num_edges()) {
+    return false;
+  }
+  for (VertexId l = 0; l < a.num_left(); ++l) {
+    const auto na = a.Neighbors(Side::kLeft, l);
+    const auto nb = b.Neighbors(Side::kLeft, l);
+    if (!std::equal(na.begin(), na.end(), nb.begin(), nb.end())) return false;
+  }
+  return true;
+}
+
+}  // namespace mbb

@@ -1,0 +1,44 @@
+#ifndef MBB_GRAPH_CANONICAL_H_
+#define MBB_GRAPH_CANONICAL_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace mbb {
+
+/// Relabel-invariant graph hash by degree-sequence refinement (the
+/// bipartite flavour of 1-dimensional Weisfeiler–Leman colour refinement):
+/// every vertex starts with a colour derived from its side and degree, and
+/// each round replaces a vertex's colour with a hash of its old colour and
+/// the sorted multiset of its neighbours' colours. The final hash folds
+/// the sorted colour multisets of both sides together with the graph
+/// shape, so permuting vertex ids within either side never changes it.
+///
+/// Two isomorphic-modulo-vertex-relabel graphs always collide; the
+/// converse is *not* guaranteed (1-WL cannot separate every pair of
+/// non-isomorphic graphs, and 64 bits can collide), so callers that need
+/// certainty — the serving result cache's exact-hit path — must confirm
+/// with an edge-by-edge comparison or treat the hit as advisory (an
+/// initial-bound warm start that is verified, not trusted).
+///
+/// `rounds == 0` picks `2 + ceil(log2(|L|+|R|))`, enough for the colour
+/// partition of almost every practical graph to stabilise. Cost is
+/// `O(rounds * (|E| log d + n log n))`; cheap enough to run at serving
+/// ingest on every request.
+std::uint64_t CanonicalGraphHash(const BipartiteGraph& g, int rounds = 0);
+
+/// Label-sensitive content hash: folds `(|L|, |R|)` and every edge in
+/// sorted order. Two graphs share it iff they are equal as labelled
+/// graphs (modulo 64-bit collisions); relabelling changes it. This is the
+/// exact-hit key of the serving result cache.
+std::uint64_t ExactGraphHash(const BipartiteGraph& g);
+
+/// True when `a` and `b` are equal as labelled graphs (same side sizes and
+/// identical adjacency). O(|E|); the collision-proof confirmation behind
+/// `ExactGraphHash` matches.
+bool GraphsEqual(const BipartiteGraph& a, const BipartiteGraph& b);
+
+}  // namespace mbb
+
+#endif  // MBB_GRAPH_CANONICAL_H_

@@ -1,16 +1,60 @@
 #include "graph/io.h"
 
+#include <charconv>
 #include <fstream>
 #include <istream>
 #include <ostream>
-#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace mbb {
 
-BipartiteGraph ReadEdgeList(std::istream& in) {
+namespace {
+
+constexpr std::string_view kWhitespace = " \t\r";
+
+/// Parses one whole whitespace-delimited token as a decimal integer.
+/// Rejects partial parses ("2x", "3.0"), signs, and overflow — the silent
+/// failure modes of `istream >> long long` this parser exists to close.
+bool ParseIdToken(std::string_view token, std::uint64_t& out) {
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), out);
+  return ec == std::errc() && ptr == token.data() + token.size();
+}
+
+/// The next whitespace-delimited token of `line` at/after `pos`; empty when
+/// the line is exhausted. Advances `pos` past the token.
+std::string_view NextToken(std::string_view line, std::size_t& pos) {
+  pos = line.find_first_not_of(kWhitespace, pos);
+  if (pos == std::string_view::npos) {
+    pos = line.size();
+    return {};
+  }
+  const std::size_t end = line.find_first_of(kWhitespace, pos);
+  const std::size_t start = pos;
+  pos = end == std::string_view::npos ? line.size() : end;
+  return line.substr(start, pos - start);
+}
+
+IoError Error(std::size_t line, std::string message) {
+  IoError error;
+  error.line = line;
+  error.message = std::move(message);
+  return error;
+}
+
+}  // namespace
+
+std::string IoError::ToString() const {
+  if (line == 0) return message;
+  return "line " + std::to_string(line) + ": " + message;
+}
+
+ParsedEdgeList ReadEdgeListSafe(std::istream& in,
+                                const EdgeListLimits& limits) {
+  ParsedEdgeList out;
   std::vector<Edge> edges;
   std::uint32_t max_left = 0;
   std::uint32_t max_right = 0;
@@ -20,18 +64,41 @@ BipartiteGraph ReadEdgeList(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    // Strip comments and blank lines.
-    const std::size_t start = line.find_first_not_of(" \t\r");
-    if (start == std::string::npos) continue;
-    if (line[start] == '%' || line[start] == '#') continue;
+    const std::size_t start = line.find_first_not_of(kWhitespace);
+    if (start == std::string::npos) continue;  // blank
+    if (line[start] == '%' || line[start] == '#') continue;  // comment
 
-    std::istringstream fields(line);
-    long long u = 0;
-    long long v = 0;
-    if (!(fields >> u >> v) || u < 1 || v < 1) {
-      throw std::runtime_error("malformed edge list at line " +
-                               std::to_string(line_no) + ": '" + line + "'");
+    std::size_t pos = start;
+    const std::string_view u_token = NextToken(line, pos);
+    const std::string_view v_token = NextToken(line, pos);
+    if (v_token.empty()) {
+      out.error = Error(line_no, "truncated edge line (need two ids): '" +
+                                     line + "'");
+      return out;
     }
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!ParseIdToken(u_token, u) || !ParseIdToken(v_token, v)) {
+      out.error = Error(line_no, "non-numeric vertex id: '" + line + "'");
+      return out;
+    }
+    if (u < 1 || v < 1) {
+      out.error = Error(line_no, "vertex ids are 1-based; got 0 in '" +
+                                     line + "'");
+      return out;
+    }
+    if (u > limits.max_vertex_id || v > limits.max_vertex_id) {
+      out.error = Error(line_no, "vertex id out of range (max " +
+                                     std::to_string(limits.max_vertex_id) +
+                                     "): '" + line + "'");
+      return out;
+    }
+    if (edges.size() >= limits.max_edges) {
+      out.error = Error(line_no, "too many edges (max " +
+                                     std::to_string(limits.max_edges) + ")");
+      return out;
+    }
+    // Trailing tokens (weights, timestamps) are ignored by design.
     const VertexId l = static_cast<VertexId>(u - 1);
     const VertexId r = static_cast<VertexId>(v - 1);
     edges.emplace_back(l, r);
@@ -39,9 +106,34 @@ BipartiteGraph ReadEdgeList(std::istream& in) {
     max_right = std::max(max_right, r);
     any = true;
   }
-  if (!any) return BipartiteGraph::FromEdges(0, 0, {});
-  return BipartiteGraph::FromEdges(max_left + 1, max_right + 1,
-                                   std::move(edges));
+  if (in.bad()) {
+    out.error = Error(line_no, "stream read error");
+    return out;
+  }
+  out.graph = any ? BipartiteGraph::FromEdges(max_left + 1, max_right + 1,
+                                              std::move(edges))
+                  : BipartiteGraph::FromEdges(0, 0, {});
+  return out;
+}
+
+ParsedEdgeList LoadEdgeListFileSafe(const std::string& path,
+                                    const EdgeListLimits& limits) {
+  std::ifstream in(path);
+  if (!in) {
+    ParsedEdgeList out;
+    out.error.message = "cannot open for reading: " + path;
+    return out;
+  }
+  return ReadEdgeListSafe(in, limits);
+}
+
+BipartiteGraph ReadEdgeList(std::istream& in) {
+  ParsedEdgeList parsed = ReadEdgeListSafe(in);
+  if (!parsed.ok()) {
+    throw std::runtime_error("malformed edge list at " +
+                             parsed.error.ToString());
+  }
+  return std::move(parsed.graph);
 }
 
 void WriteEdgeList(const BipartiteGraph& g, std::ostream& out) {

@@ -1,6 +1,7 @@
 #ifndef MBB_GRAPH_IO_H_
 #define MBB_GRAPH_IO_H_
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -8,18 +9,64 @@
 
 namespace mbb {
 
-/// Reads a bipartite edge list in the KONECT text format: one `u v` pair per
-/// line (1-based ids, left first), `%`- or `#`-prefixed comment lines, and
-/// optional trailing weight/timestamp columns which are ignored. The number
-/// of vertices per side is inferred from the maximum id seen.
+/// Where and why parsing an edge list failed. `line` is the 1-based line
+/// number of the offending input (0 when the failure is not tied to a
+/// line, e.g. an unopenable file).
+struct IoError {
+  std::size_t line = 0;
+  std::string message;
+
+  /// `"line 12: vertex id out of range ..."` (or just the message).
+  std::string ToString() const;
+};
+
+/// Payload-hardening knobs for the safe loaders. The defaults admit every
+/// legitimate KONECT dataset while refusing inputs that would make
+/// `BipartiteGraph::FromEdges` allocate absurd offset arrays from a single
+/// hostile line — a serving front end tightens them per request.
+struct EdgeListLimits {
+  /// Largest accepted 1-based vertex id per side. Ids above it are a
+  /// structured error, never a silent 32-bit wrap.
+  std::uint64_t max_vertex_id = std::uint64_t{1} << 27;
+  /// Maximum number of edge lines accepted.
+  std::uint64_t max_edges = std::uint64_t{1} << 32;
+};
+
+/// Outcome of the non-throwing loaders: `graph` is populated iff `ok()`.
+struct ParsedEdgeList {
+  BipartiteGraph graph;
+  IoError error;
+
+  bool ok() const { return error.message.empty(); }
+};
+
+/// Reads a bipartite edge list in the KONECT text format: one `u v` pair
+/// per line (1-based ids, left first), `%`- or `#`-prefixed comment lines,
+/// and optional trailing weight/timestamp columns which are ignored. The
+/// number of vertices per side is inferred from the maximum id seen.
 ///
-/// Throws `std::runtime_error` on malformed numeric fields.
+/// Never throws on malformed content: truncated lines, non-numeric or
+/// overflowing tokens, ids of 0 or beyond `limits.max_vertex_id`, and
+/// oversized payloads all come back as a structured `IoError` naming the
+/// line — the contract that lets a server feed untrusted payloads through
+/// this parser without a bad request killing the process.
+ParsedEdgeList ReadEdgeListSafe(std::istream& in,
+                                const EdgeListLimits& limits = {});
+
+/// As `ReadEdgeListSafe`, reading from `path`. File-open failures are
+/// reported with `line == 0`.
+ParsedEdgeList LoadEdgeListFileSafe(const std::string& path,
+                                    const EdgeListLimits& limits = {});
+
+/// Throwing convenience wrapper over `ReadEdgeListSafe`: throws
+/// `std::runtime_error` with the formatted `IoError` on malformed input.
 BipartiteGraph ReadEdgeList(std::istream& in);
 
 /// Writes `g` in the same format (1-based ids, `%` header).
 void WriteEdgeList(const BipartiteGraph& g, std::ostream& out);
 
-/// File wrappers. Throw `std::runtime_error` when the file cannot be opened.
+/// File wrappers. Throw `std::runtime_error` when the file cannot be
+/// opened or (for loading) the content is malformed.
 BipartiteGraph LoadEdgeListFile(const std::string& path);
 void SaveEdgeListFile(const BipartiteGraph& g, const std::string& path);
 

@@ -1,0 +1,40 @@
+#ifndef MBB_SERVE_HARDNESS_H_
+#define MBB_SERVE_HARDNESS_H_
+
+#include <cstdint>
+
+#include "graph/bipartite_graph.h"
+
+namespace mbb::serve {
+
+/// Cheap hardness features computed once per query at admission time. All
+/// of them are O(|E| + n log n) or bounded-work estimates — the point is
+/// to rank queued queries by expected solve cost without doing any real
+/// search work on the ingest path.
+struct HardnessFeatures {
+  std::uint32_t num_left = 0;
+  std::uint32_t num_right = 0;
+  std::uint64_t num_edges = 0;
+  double density = 0.0;
+  std::uint32_t max_degree = 0;
+  /// Balanced H-index: the largest k such that at least k vertices per
+  /// side have degree >= k. Every vertex of a k x k biclique has degree
+  /// >= k, so this is also a valid upper bound on the balanced optimum —
+  /// and empirically the strongest single predictor of search depth.
+  std::uint32_t balanced_h_index = 0;
+  /// Two-hop core estimate: the largest distinct two-hop neighbourhood
+  /// (|N(N(v))|, same side as v) over a small sample of high-degree
+  /// vertices, with bounded work per vertex. Approximates the size of the
+  /// vertex-centred subgraphs the sparse pipeline must search.
+  std::uint32_t two_hop_core = 0;
+  /// Scheduling score: monotone "expected solve cost" combining the
+  /// features above. Only the ordering matters (shortest-expected-job
+  /// first); the absolute value is meaningless.
+  double expected_cost = 0.0;
+};
+
+HardnessFeatures ComputeHardness(const BipartiteGraph& g);
+
+}  // namespace mbb::serve
+
+#endif  // MBB_SERVE_HARDNESS_H_

@@ -1,0 +1,391 @@
+#include "serve/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace mbb::serve {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool Fail(const std::string& message) {
+    if (error.empty()) {
+      error = message + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text.substr(pos, literal.size()) == literal) {
+      pos += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseHex4(std::uint32_t& out) {
+    if (pos + 4 > text.size()) return Fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text[pos + i];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return Fail("invalid \\u escape");
+      }
+    }
+    pos += 4;
+    return true;
+  }
+
+  void AppendUtf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool ParseString(std::string& out) {
+    if (!Consume('"')) return Fail("expected string");
+    out.clear();
+    while (true) {
+      if (pos >= text.size()) return Fail("unterminated string");
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos >= text.size()) return Fail("truncated escape");
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          std::uint32_t cp = 0;
+          if (!ParseHex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired low surrogate.
+            if (!ConsumeLiteral("\\u")) return Fail("lone high surrogate");
+            std::uint32_t low = 0;
+            if (!ParseHex4(low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Fail("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Fail("lone low surrogate");
+          }
+          AppendUtf8(out, cp);
+          break;
+        }
+        default:
+          return Fail("invalid escape character");
+      }
+    }
+  }
+
+  bool ParseNumber(double& out) {
+    const std::size_t start = pos;
+    if (Consume('-')) {
+    }
+    if (!Consume('0')) {
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        pos = start;
+        return Fail("invalid number");
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (Consume('.')) {
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return Fail("invalid number fraction");
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    if (pos < text.size() && (text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+      if (pos < text.size() && (text[pos] == '+' || text[pos] == '-')) ++pos;
+      if (pos >= text.size() || !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        return Fail("invalid number exponent");
+      }
+      while (pos < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        ++pos;
+      }
+    }
+    const auto [ptr, ec] =
+        std::from_chars(text.data() + start, text.data() + pos, out);
+    if (ec != std::errc() || ptr != text.data() + pos) {
+      return Fail("unparseable number");
+    }
+    return true;
+  }
+
+  bool ParseValue(Json& out, int depth) {
+    if (depth > kMaxDepth) return Fail("nesting too deep");
+    SkipWhitespace();
+    if (pos >= text.size()) return Fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      Json::Object object;
+      SkipWhitespace();
+      if (Consume('}')) {
+        out = Json(std::move(object));
+        return true;
+      }
+      while (true) {
+        SkipWhitespace();
+        std::string key;
+        if (!ParseString(key)) return false;
+        SkipWhitespace();
+        if (!Consume(':')) return Fail("expected ':' in object");
+        Json value;
+        if (!ParseValue(value, depth + 1)) return false;
+        object.insert_or_assign(std::move(key), std::move(value));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume('}')) break;
+        return Fail("expected ',' or '}' in object");
+      }
+      out = Json(std::move(object));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      Json::Array array;
+      SkipWhitespace();
+      if (Consume(']')) {
+        out = Json(std::move(array));
+        return true;
+      }
+      while (true) {
+        Json value;
+        if (!ParseValue(value, depth + 1)) return false;
+        array.push_back(std::move(value));
+        SkipWhitespace();
+        if (Consume(',')) continue;
+        if (Consume(']')) break;
+        return Fail("expected ',' or ']' in array");
+      }
+      out = Json(std::move(array));
+      return true;
+    }
+    if (c == '"') {
+      std::string value;
+      if (!ParseString(value)) return false;
+      out = Json(std::move(value));
+      return true;
+    }
+    if (ConsumeLiteral("true")) {
+      out = Json(true);
+      return true;
+    }
+    if (ConsumeLiteral("false")) {
+      out = Json(false);
+      return true;
+    }
+    if (ConsumeLiteral("null")) {
+      out = Json(nullptr);
+      return true;
+    }
+    double number = 0.0;
+    if (!ParseNumber(number)) return false;
+    out = Json(number);
+    return true;
+  }
+};
+
+void DumpString(const std::string& s, std::string& out) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void DumpNumber(double value, std::string& out) {
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 9.007199254740992e15) {
+    out += std::to_string(static_cast<long long>(value));
+    return;
+  }
+  if (!std::isfinite(value)) {  // JSON has no inf/nan; degrade to null
+    out += "null";
+    return;
+  }
+  // Shortest representation that round-trips: try increasing precision
+  // until strtod gives the value back, so 0.147 prints as "0.147" and not
+  // the 17-digit expansion.
+  char buf[32];
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
+  out += buf;
+}
+
+}  // namespace
+
+const Json* Json::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string Json::GetString(const std::string& key,
+                            std::string fallback) const {
+  const Json* value = Find(key);
+  return value != nullptr && value->is_string() ? value->AsString()
+                                                : std::move(fallback);
+}
+
+double Json::GetNumber(const std::string& key, double fallback) const {
+  const Json* value = Find(key);
+  return value != nullptr && value->is_number() ? value->AsDouble() : fallback;
+}
+
+bool Json::GetBool(const std::string& key, bool fallback) const {
+  const Json* value = Find(key);
+  return value != nullptr && value->is_bool() ? value->AsBool() : fallback;
+}
+
+void Json::DumpTo(std::string& out) const {
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      DumpNumber(number_, out);
+      break;
+    case Type::kString:
+      DumpString(string_, out);
+      break;
+    case Type::kArray: {
+      out.push_back('[');
+      bool first = true;
+      for (const Json& item : array_) {
+        if (!first) out.push_back(',');
+        first = false;
+        item.DumpTo(out);
+      }
+      out.push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      out.push_back('{');
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out.push_back(',');
+        first = false;
+        DumpString(key, out);
+        out.push_back(':');
+        value.DumpTo(out);
+      }
+      out.push_back('}');
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out);
+  return out;
+}
+
+bool ParseJson(std::string_view text, Json* out, std::string* error) {
+  Parser parser{text};
+  Json value;
+  if (!parser.ParseValue(value, 0)) {
+    if (error != nullptr) *error = parser.error;
+    return false;
+  }
+  parser.SkipWhitespace();
+  if (parser.pos != text.size()) {
+    if (error != nullptr) {
+      *error = "trailing garbage at offset " + std::to_string(parser.pos);
+    }
+    return false;
+  }
+  *out = std::move(value);
+  return true;
+}
+
+}  // namespace mbb::serve

@@ -1,0 +1,98 @@
+#ifndef MBB_SERVE_JSON_H_
+#define MBB_SERVE_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mbb::serve {
+
+/// Minimal JSON document model for the serving protocol — the library must
+/// stay dependency-free, so this is a small hand-rolled value type plus a
+/// recursive-descent parser hardened for untrusted input (depth cap,
+/// strict number/escape validation, structured errors instead of throws).
+///
+/// Objects keep their keys in sorted order (std::map), which makes `Dump`
+/// output deterministic — handy for tests and for diffing bench logs.
+class Json {
+ public:
+  enum class Type : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject
+  };
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool value) : type_(Type::kBool), bool_(value) {}
+  Json(double value) : type_(Type::kNumber), number_(value) {}
+  Json(int value) : Json(static_cast<double>(value)) {}
+  Json(unsigned value) : Json(static_cast<double>(value)) {}
+  Json(std::int64_t value) : Json(static_cast<double>(value)) {}
+  Json(std::uint64_t value) : Json(static_cast<double>(value)) {}
+  Json(std::string value) : type_(Type::kString), string_(std::move(value)) {}
+  Json(std::string_view value) : Json(std::string(value)) {}
+  Json(const char* value) : Json(std::string(value)) {}
+  Json(Array value) : type_(Type::kArray), array_(std::move(value)) {}
+  Json(Object value) : type_(Type::kObject), object_(std::move(value)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool AsBool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double AsDouble(double fallback = 0.0) const {
+    return is_number() ? number_ : fallback;
+  }
+  const std::string& AsString() const { return string_; }
+  const Array& AsArray() const { return array_; }
+  const Object& AsObject() const { return object_; }
+  Array& MutableArray() { return array_; }
+  Object& MutableObject() { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Json* Find(const std::string& key) const;
+
+  /// Typed convenience lookups for protocol parsing.
+  std::string GetString(const std::string& key,
+                        std::string fallback = {}) const;
+  double GetNumber(const std::string& key, double fallback = 0.0) const;
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Compact single-line serialization (no trailing newline). Numbers that
+  /// are integral print without a decimal point.
+  std::string Dump() const;
+  void DumpTo(std::string& out) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Parses one JSON document from `text` (surrounding whitespace allowed,
+/// trailing garbage rejected). Returns false and fills `error` on invalid
+/// input; never throws. Nesting is capped (64 levels) so hostile payloads
+/// cannot overflow the stack.
+bool ParseJson(std::string_view text, Json* out, std::string* error);
+
+}  // namespace mbb::serve
+
+#endif  // MBB_SERVE_JSON_H_

@@ -1,0 +1,222 @@
+#include "serve/net.h"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <istream>
+#include <memory>
+#include <ostream>
+
+namespace mbb::serve {
+
+namespace {
+
+std::string ErrnoString(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Writes `line` + '\n' fully, retrying short writes. Returns false on a
+/// closed peer.
+bool WriteLine(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool SocketFrontEnd::ListenTcp(std::uint16_t port, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = ErrnoString("socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    *error = ErrnoString("bind/listen");
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    tcp_port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  }
+  listen_fd_ = fd;
+  accept_thread_ = std::thread([this, fd] { AcceptLoop(fd); });
+  return true;
+}
+
+bool SocketFrontEnd::ListenUnix(const std::string& path, std::string* error) {
+  sockaddr_un addr{};
+  if (path.size() >= sizeof(addr.sun_path)) {
+    *error = "unix socket path too long: " + path;
+    return false;
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = ErrnoString("socket");
+    return false;
+  }
+  ::unlink(path.c_str());
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    *error = ErrnoString("bind/listen");
+    ::close(fd);
+    return false;
+  }
+  listen_fd_ = fd;
+  unix_path_ = path;
+  accept_thread_ = std::thread([this, fd] { AcceptLoop(fd); });
+  return true;
+}
+
+void SocketFrontEnd::AcceptLoop(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by Stop()
+    }
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      return;
+    }
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void SocketFrontEnd::ServeConnection(int fd) {
+  // Out-of-order completions write concurrently; one mutex per connection
+  // keeps response lines intact. Held in a shared_ptr because a callback
+  // of an in-flight solve may outlive this reader frame.
+  auto write_mutex = std::make_shared<std::mutex>();
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !stopping_.load(std::memory_order_acquire)) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (std::size_t newline = buffer.find('\n', start);
+         newline != std::string::npos;
+         newline = buffer.find('\n', start)) {
+      std::string line = buffer.substr(start, newline - start);
+      start = newline + 1;
+      if (line.empty()) continue;
+      const bool keep_going = server_.HandleLine(
+          line, [fd, write_mutex](const Response& response) {
+            std::lock_guard<std::mutex> lock(*write_mutex);
+            WriteLine(fd, SerializeResponse(response));
+          });
+      if (!keep_going) {
+        open = false;
+        // Shutdown command: take the whole front end down, not just this
+        // connection. The owner thread blocked in WaitUntilStopped does
+        // the joins — a connection thread cannot join itself.
+        RequestStop();
+        break;
+      }
+    }
+    buffer.erase(0, start);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+}
+
+void SocketFrontEnd::RequestStop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (listen_fd_ >= 0) {
+      // shutdown() unblocks accept(); close happens in Stop() so the fd
+      // number cannot be reused while the accept thread may still race.
+      ::shutdown(listen_fd_, SHUT_RDWR);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  stop_cv_.notify_all();
+}
+
+void SocketFrontEnd::WaitUntilStopped() {
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  stop_cv_.wait(lock, [this] { return stopped(); });
+}
+
+void SocketFrontEnd::Stop() {
+  RequestStop();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    threads.swap(connection_threads_);
+    fds.swap(connection_fds_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  for (const int fd : fds) ::close(fd);
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+void ServeStdio(Server& server, std::istream& in, std::ostream& out) {
+  auto write_mutex = std::make_shared<std::mutex>();
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const bool keep_going =
+        server.HandleLine(line, [&out, write_mutex](const Response& response) {
+          std::lock_guard<std::mutex> lock(*write_mutex);
+          out << SerializeResponse(response) << '\n';
+          out.flush();
+        });
+    if (!keep_going) break;
+  }
+  // Let queued work finish so every accepted request still gets its line
+  // before the writer goes away.
+  server.Drain();
+}
+
+}  // namespace mbb::serve

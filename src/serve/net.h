@@ -1,0 +1,88 @@
+#ifndef MBB_SERVE_NET_H_
+#define MBB_SERVE_NET_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/server.h"
+
+namespace mbb::serve {
+
+/// Line-oriented socket front end: accepts connections on a TCP port or a
+/// Unix-domain socket, reads one JSON request per line, and writes one
+/// JSON response per line (responses of concurrent in-flight requests may
+/// interleave in completion order; match them by `id`). Each connection
+/// gets a reader thread; responses are serialised through a per-connection
+/// write mutex because solver workers complete out of order.
+///
+/// All connections share one `Server`, so the admission queue and the
+/// result cache span clients — exactly the workload the cache targets.
+class SocketFrontEnd {
+ public:
+  explicit SocketFrontEnd(Server& server) : server_(server) {}
+  ~SocketFrontEnd() { Stop(); }
+
+  SocketFrontEnd(const SocketFrontEnd&) = delete;
+  SocketFrontEnd& operator=(const SocketFrontEnd&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the accept loop.
+  /// Returns false with `error` filled on any socket failure.
+  bool ListenTcp(std::uint16_t port, std::string* error);
+
+  /// Binds a Unix-domain socket at `path` (unlinked first) and starts the
+  /// accept loop.
+  bool ListenUnix(const std::string& path, std::string* error);
+
+  /// The bound TCP port (after `ListenTcp(0, ...)` resolves the ephemeral
+  /// port); 0 when not listening on TCP.
+  std::uint16_t tcp_port() const { return tcp_port_; }
+
+  /// Asynchronous stop: closes the listener and shuts down every
+  /// connection socket so all front-end threads unwind, without joining
+  /// them. Safe to call from a connection thread — this is what a
+  /// `{"cmd":"shutdown"}` line triggers.
+  void RequestStop();
+
+  /// Blocks until `RequestStop` has been called (by any party).
+  void WaitUntilStopped();
+
+  /// `RequestStop` plus joining every front-end thread and closing the
+  /// descriptors. Must be called from an owner thread (main, a test), not
+  /// from inside a connection handler.
+  void Stop();
+
+  bool stopped() const { return stopping_.load(std::memory_order_acquire); }
+
+ private:
+  void AcceptLoop(int listen_fd);
+  void ServeConnection(int fd);
+
+  Server& server_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint16_t> tcp_port_{0};
+  std::string unix_path_;
+  std::thread accept_thread_;
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  int listen_fd_ = -1;  // guarded by stop_mutex_ once listening
+
+  std::mutex connections_mutex_;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+};
+
+/// Runs the stdio front end: reads JSON-lines requests from `in`, writes
+/// responses to `out` (write-mutex-serialised, flushed per line), returns
+/// when `in` closes or a shutdown command arrives. This is what
+/// `mbb_serve --stdio` and the CI smoke test drive.
+void ServeStdio(Server& server, std::istream& in, std::ostream& out);
+
+}  // namespace mbb::serve
+
+#endif  // MBB_SERVE_NET_H_

@@ -1,0 +1,89 @@
+#include "serve/result_cache.h"
+
+#include "graph/canonical.h"
+
+namespace mbb::serve {
+
+ResultCache::Lookup ResultCache::Find(const BipartiteGraph& g,
+                                      std::uint64_t canonical_hash,
+                                      std::uint64_t exact_hash,
+                                      const std::string& algo_class) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Lookup lookup;
+  auto [begin, end] = by_canonical_.equal_range(canonical_hash);
+  for (auto it = begin; it != end; ++it) {
+    Entry& entry = *it->second;
+    if (entry.algo_class != algo_class) continue;
+    if (entry.exact_hash == exact_hash && GraphsEqual(entry.graph, g)) {
+      lookup.kind = HitKind::kExact;
+      lookup.result = entry.result;
+      entries_.splice(entries_.begin(), entries_, it->second);  // touch LRU
+      ++stats_.exact_hits;
+      return lookup;
+    }
+    // Same canonical colouring, different labels: advisory warm start.
+    // Keep the largest bound if several relabelled variants are cached.
+    lookup.kind = HitKind::kIsomorphic;
+    lookup.warm_bound =
+        std::max(lookup.warm_bound, entry.result.best.BalancedSize());
+  }
+  if (lookup.kind == HitKind::kIsomorphic) {
+    ++stats_.isomorphic_hits;
+  } else {
+    ++stats_.misses;
+  }
+  return lookup;
+}
+
+void ResultCache::Insert(const BipartiteGraph& g,
+                         std::uint64_t canonical_hash,
+                         std::uint64_t exact_hash,
+                         const std::string& algo_class,
+                         const MbbResult& result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Refresh an existing entry for the same labelled graph in place.
+  auto [begin, end] = by_canonical_.equal_range(canonical_hash);
+  for (auto it = begin; it != end; ++it) {
+    Entry& entry = *it->second;
+    if (entry.algo_class == algo_class && entry.exact_hash == exact_hash &&
+        GraphsEqual(entry.graph, g)) {
+      entry.result = result;
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+  }
+  entries_.push_front(Entry{canonical_hash, exact_hash, algo_class, g,
+                            result});
+  by_canonical_.emplace(canonical_hash, entries_.begin());
+  ++stats_.insertions;
+  while (entries_.size() > capacity_) {
+    const auto last = std::prev(entries_.end());
+    EraseIndex(last->canonical_hash, last);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void ResultCache::EraseIndex(std::uint64_t canonical_hash,
+                             EntryList::iterator it) {
+  auto [begin, end] = by_canonical_.equal_range(canonical_hash);
+  for (auto index_it = begin; index_it != end; ++index_it) {
+    if (index_it->second == it) {
+      by_canonical_.erase(index_it);
+      return;
+    }
+  }
+}
+
+CacheStats ResultCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ResultCache::Size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace mbb::serve

@@ -1,0 +1,96 @@
+#ifndef MBB_SERVE_RESULT_CACHE_H_
+#define MBB_SERVE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/stats.h"
+#include "graph/bipartite_graph.h"
+
+namespace mbb::serve {
+
+/// Aggregate counters; `exact_hits + isomorphic_hits + misses` equals the
+/// number of `Find` calls.
+struct CacheStats {
+  std::uint64_t exact_hits = 0;
+  std::uint64_t isomorphic_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// Thread-safe LRU cache of solved results keyed by the canonical
+/// (relabel-invariant) graph hash, exploiting the repeat-query pattern of
+/// hot subgraphs.
+///
+/// Two hit grades:
+///  * **Exact** — same labelled graph (confirmed edge-by-edge, hashes are
+///    only the index) and compatible algorithm class: the stored result is
+///    returned verbatim, no solver runs.
+///  * **Isomorphic** — same canonical hash but different labelling: the
+///    cached balanced size comes back as `warm_bound`. The caller reruns
+///    the solver with `initial_bound = warm_bound - 1`, which prunes most
+///    of the search on a true isomorph; because 1-WL hashes can collide on
+///    non-isomorphic graphs, the caller MUST fall back to an unbounded
+///    solve when the warm-started search comes back empty (see
+///    docs/SERVING.md, "Cache semantics") — the hint is advisory, the
+///    fallback keeps answers exact.
+///
+/// Only exact results are inserted (`exact == true` from an exact solver);
+/// all exact solvers share one algorithm class ("exact") since any of them
+/// returns a maximum balanced biclique, while heuristics are cached per
+/// algorithm name.
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  enum class HitKind : std::uint8_t { kMiss, kExact, kIsomorphic };
+
+  struct Lookup {
+    HitKind kind = HitKind::kMiss;
+    MbbResult result;             // populated when kExact
+    std::uint32_t warm_bound = 0; // populated when kIsomorphic
+  };
+
+  /// Looks up `g`. `canonical_hash`/`exact_hash` are the precomputed
+  /// `CanonicalGraphHash`/`ExactGraphHash` (computed at admission so the
+  /// lock is held only for the index walk plus one edge comparison).
+  Lookup Find(const BipartiteGraph& g, std::uint64_t canonical_hash,
+              std::uint64_t exact_hash, const std::string& algo_class);
+
+  /// Inserts (or refreshes) the result for `g`. The caller guarantees
+  /// `result` is an unconditioned exact answer (no caller-supplied initial
+  /// bound, `exact == true`). Evicts the least-recently-used entry beyond
+  /// `capacity`. A capacity of 0 disables the cache entirely.
+  void Insert(const BipartiteGraph& g, std::uint64_t canonical_hash,
+              std::uint64_t exact_hash, const std::string& algo_class,
+              const MbbResult& result);
+
+  CacheStats Stats() const;
+  std::size_t Size() const;
+
+ private:
+  struct Entry {
+    std::uint64_t canonical_hash = 0;
+    std::uint64_t exact_hash = 0;
+    std::string algo_class;
+    BipartiteGraph graph;  // for collision-proof exact-hit confirmation
+    MbbResult result;
+  };
+  using EntryList = std::list<Entry>;
+
+  void EraseIndex(std::uint64_t canonical_hash, EntryList::iterator it);
+
+  mutable std::mutex mutex_;
+  std::size_t capacity_;
+  EntryList entries_;  // front = most recently used
+  std::unordered_multimap<std::uint64_t, EntryList::iterator> by_canonical_;
+  CacheStats stats_;
+};
+
+}  // namespace mbb::serve
+
+#endif  // MBB_SERVE_RESULT_CACHE_H_

@@ -1,0 +1,166 @@
+#ifndef MBB_SERVE_SERVER_H_
+#define MBB_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/result_cache.h"
+
+namespace mbb {
+class SearchContext;
+}
+
+namespace mbb::serve {
+
+struct ServerOptions {
+  /// Solver worker threads. Each owns one `SearchContext` reused across
+  /// queries. 0 = one per hardware thread.
+  std::uint32_t num_workers = 2;
+  /// Admission bound: solve requests beyond this many queued jobs are
+  /// rejected immediately with an "overloaded" error instead of piling up.
+  std::size_t queue_capacity = 256;
+  /// Result-cache entries (0 disables caching).
+  std::size_t cache_capacity = 128;
+  /// Deadline applied to requests that carry none; 0 = unlimited.
+  double default_deadline_ms = 0.0;
+  /// Starvation bound of the shortest-expected-job-first queue: once the
+  /// oldest job has waited this long it runs next regardless of cost, so
+  /// an expensive query cannot be postponed forever by a stream of cheap
+  /// ones. 0 = strict FIFO (every job is immediately "starved").
+  double starvation_ms = 500.0;
+  /// Solver threads for requests that don't specify `threads`.
+  std::uint32_t default_threads = 1;
+  /// Payload bounds applied while parsing request graphs.
+  RequestLimits limits;
+};
+
+/// Monotonic counters; snapshot via `Server::Counters()`.
+struct ServerCounters {
+  std::uint64_t submitted = 0;           // solve requests received
+  std::uint64_t answered_from_cache = 0; // exact hits, no solver run
+  std::uint64_t solved = 0;              // solver ran to a response
+  std::uint64_t warm_fallbacks = 0;      // warm start proved wrong, re-solved
+  std::uint64_t rejected_overloaded = 0; // admission-control rejections
+  std::uint64_t rejected_invalid = 0;    // unknown algo etc.
+  std::uint64_t cancelled = 0;           // stopped before or during solve
+  std::uint64_t expired_in_queue = 0;    // deadline passed while queued
+};
+
+/// Long-lived serving core exposing `SolverRegistry::Solve` to concurrent
+/// clients (see docs/SERVING.md). Front ends (stdio, sockets, the bench)
+/// feed it `Request`s and get each `Response` through a callback, so one
+/// server instance backs any mix of transports.
+///
+/// A solve request flows: admission (hardness features + cache probe at
+/// ingest; exact cache hits are answered synchronously without queueing) →
+/// the SJF queue (cheapest expected cost first, oldest-first once a job
+/// exceeds the starvation bound) → a worker thread (per-worker
+/// `SearchContext`, per-job `StopToken` shared with `Cancel`) → callback.
+class Server {
+ public:
+  using Callback = std::function<void(const Response&)>;
+  using Clock = std::chrono::steady_clock;
+
+  explicit Server(ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Submits one solve request. The callback fires exactly once — possibly
+  /// synchronously (cache hit, rejection), otherwise on a worker thread —
+  /// and must be thread-safe against other responses.
+  void Submit(Request request, Callback callback);
+
+  /// Blocking convenience for tests and closed-loop load generators.
+  Response SubmitAndWait(Request request);
+
+  /// Trips the stop token of a queued or running job. Queued jobs are
+  /// answered as cancelled at dequeue; running solves observe the token at
+  /// the next limit check. False when no live job has this id.
+  bool Cancel(const std::string& id);
+
+  /// Dispatches one protocol line from a transport. Always responds
+  /// through `respond` (including parse errors); returns false when the
+  /// line was a shutdown command and the transport should stop reading.
+  bool HandleLine(const std::string& line, const Callback& respond);
+
+  /// Blocks until the queue is empty and no solve is running — i.e. every
+  /// accepted request has been answered. Front ends call this before
+  /// tearing down their writers.
+  void Drain();
+
+  /// Rejects queued jobs ("server shutting down"), trips the tokens of
+  /// running solves, and joins the workers. Idempotent; the destructor
+  /// calls it.
+  void Shutdown();
+
+  ServerCounters Counters() const;
+  CacheStats CacheCounters() const { return cache_.Stats(); }
+  std::size_t QueueDepth() const;
+
+  /// The stats payload of the protocol's `{"cmd":"stats"}` request.
+  Json StatsPayload() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Job {
+    Request request;
+    Callback callback;
+    std::shared_ptr<StopToken> token;
+    Clock::time_point ingest;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+    double expected_cost = 0.0;
+    // Cache bookkeeping (algo_class empty = uncacheable request).
+    std::string algo_class;
+    std::uint64_t canonical_hash = 0;
+    std::uint64_t exact_hash = 0;
+    std::uint32_t warm_bound = 0;
+    bool warm = false;
+    std::string cache_label = "bypass";
+    // Back-pointer into `by_cost_` for O(log n) removal on pop.
+    std::multimap<double, std::list<Job>::iterator>::iterator cost_it;
+  };
+  using JobList = std::list<Job>;
+
+  void WorkerLoop();
+  void RunJob(Job job, SearchContext* context);
+  /// Pops per the scheduling rule; requires the lock held and a non-empty
+  /// queue.
+  Job PopLocked();
+  void FinishJob(const std::string& id);
+  Response CancelledResponse(const Job& job, double queue_ms) const;
+
+  const ServerOptions options_;
+  ResultCache cache_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable drain_cv_;
+  bool stopping_ = false;
+  std::size_t running_ = 0;  // jobs popped but not yet answered
+  JobList queue_;  // front = oldest
+  std::multimap<double, JobList::iterator> by_cost_;
+  /// Live (queued or running) jobs by request id, for `Cancel`.
+  std::unordered_map<std::string, std::shared_ptr<StopToken>> active_;
+  ServerCounters counters_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mbb::serve
+
+#endif  // MBB_SERVE_SERVER_H_

@@ -147,6 +147,14 @@ void ExpectRegistryAgreesWithBrute(const BipartiteGraph& g) {
   for (const std::string& name : SolverRegistry::Instance().Names()) {
     const MbbSolver& solver = SolverRegistry::Instance().Get(name);
     const MbbResult r = SolverRegistry::Solve(name, g);
+    if (name == "sizecon" || name == "topk") {
+      // These answer a different question (an (a, b) decision / a
+      // disjoint-biclique pool), so the plain-MBB assertions below don't
+      // apply; test_engine.cc cross-validates them against brute force
+      // under their own contracts. Here just require feasibility.
+      EXPECT_TRUE(r.best.IsBicliqueIn(g)) << name;
+      continue;
+    }
     EXPECT_TRUE(r.best.IsBalanced()) << name;
     EXPECT_TRUE(r.best.IsBicliqueIn(g)) << name;
     if (solver.IsExact()) {

@@ -5,11 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 #include "core/basic_bb.h"
 #include "core/dense_mbb.h"
 #include "core/hbv_mbb.h"
+#include "core/size_constrained.h"
 #include "engine/registry.h"
 #include "engine/search_context.h"
 #include "engine/solver.h"
@@ -23,7 +26,7 @@ TEST(SolverRegistry, AllRequiredNamesRegistered) {
   for (const char* name :
        {"dense", "hbv", "basic", "extbbclq", "imbea", "fmbe", "pols",
         "sbmnas", "adapted", "brute", "auto", "bd1", "bd2", "bd3", "bd4",
-        "bd5", "adp1", "adp2", "adp3", "adp4"}) {
+        "bd5", "adp1", "adp2", "adp3", "adp4", "sizecon", "topk"}) {
     EXPECT_TRUE(registry.Contains(name)) << name;
     EXPECT_EQ(registry.Get(name).Name(), name);
   }
@@ -145,6 +148,117 @@ TEST(SolverOptions, StatsSinkAccumulatesAcrossRuns) {
   const MbbResult second = SolverRegistry::Solve("dense", g, options);
   EXPECT_EQ(sink.recursions,
             first.stats.recursions + second.stats.recursions);
+}
+
+TEST(VariantSolvers, SizeconMatchesParetoFrontierOracle) {
+  // The (a, b) decision answered by `sizecon` must agree with the
+  // exhaustively computed Pareto frontier: an (a, b)-biclique exists iff
+  // some maximal instance (x, y) dominates it.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(8, 9, 0.45, seed);
+    const DenseSubgraph dense = testing::WholeGraphDense(g);
+    const auto frontier = MaximalBicliqueInstances(dense);
+    for (std::uint32_t a = 1; a <= 4; ++a) {
+      for (std::uint32_t b = 1; b <= 4; ++b) {
+        SolverOptions options;
+        options.size_a = a;
+        options.size_b = b;
+        const MbbResult result = SolverRegistry::Solve("sizecon", g, options);
+        bool oracle = false;
+        for (const auto& [x, y] : frontier) {
+          if (x >= a && y >= b) oracle = true;
+        }
+        EXPECT_EQ(!result.best.Empty(), oracle)
+            << "seed " << seed << " a=" << a << " b=" << b;
+        if (!result.best.Empty()) {
+          EXPECT_TRUE(result.best.IsBicliqueIn(g));
+          EXPECT_GE(result.best.left.size(), a);
+          EXPECT_GE(result.best.right.size(), b);
+        }
+        EXPECT_TRUE(result.exact);
+      }
+    }
+  }
+}
+
+TEST(VariantSolvers, SizeconBalancedDiagonalMatchesBrute) {
+  // On the diagonal (a == b == k) the decision coincides with "is the MBB
+  // at least k", which brute force answers directly.
+  for (std::uint64_t seed = 20; seed < 26; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(10, 10, 0.5, seed);
+    const std::uint32_t optimum =
+        SolverRegistry::Solve("brute", g).best.BalancedSize();
+    for (std::uint32_t k = 1; k <= optimum + 1; ++k) {
+      SolverOptions options;
+      options.size_a = k;
+      options.size_b = k;
+      const MbbResult result = SolverRegistry::Solve("sizecon", g, options);
+      EXPECT_EQ(!result.best.Empty(), k <= optimum)
+          << "seed " << seed << " k=" << k;
+    }
+  }
+}
+
+TEST(VariantSolvers, TopKFirstEntryMatchesBruteAndPoolIsDisjoint) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const BipartiteGraph g = testing::RandomGraph(10, 10, 0.5, seed);
+    const std::uint32_t optimum =
+        SolverRegistry::Solve("brute", g).best.BalancedSize();
+    SolverOptions options;
+    options.top_k = 3;
+    const MbbResult result = SolverRegistry::Solve("topk", g, options);
+    ASSERT_TRUE(result.exact);
+    ASSERT_FALSE(result.pool.empty());
+    EXPECT_EQ(result.pool.front().BalancedSize(), optimum);
+    EXPECT_EQ(result.best.BalancedSize(), optimum);
+    EXPECT_LE(result.pool.size(), 3u);
+
+    std::vector<bool> left_used(g.num_left(), false);
+    std::vector<bool> right_used(g.num_right(), false);
+    std::uint32_t previous = optimum;
+    for (const Biclique& biclique : result.pool) {
+      EXPECT_TRUE(biclique.IsBicliqueIn(g));
+      EXPECT_LE(biclique.BalancedSize(), previous);  // largest first
+      previous = biclique.BalancedSize();
+      for (const VertexId v : biclique.left) {
+        EXPECT_FALSE(left_used[v]) << "left vertex reused: " << v;
+        left_used[v] = true;
+      }
+      for (const VertexId v : biclique.right) {
+        EXPECT_FALSE(right_used[v]) << "right vertex reused: " << v;
+        right_used[v] = true;
+      }
+    }
+  }
+}
+
+TEST(VariantSolvers, TopKSecondEntryIsOptimalOnThePeeledGraph) {
+  // After removing the first biclique's vertices, the second entry must be
+  // the brute-force optimum of the remaining induced graph.
+  const BipartiteGraph g = testing::RandomGraph(9, 9, 0.55, 3);
+  SolverOptions options;
+  options.top_k = 2;
+  const MbbResult result = SolverRegistry::Solve("topk", g, options);
+  ASSERT_EQ(result.pool.size(), 2u);
+
+  std::vector<VertexId> left_alive;
+  std::vector<VertexId> right_alive;
+  for (VertexId v = 0; v < g.num_left(); ++v) {
+    if (std::find(result.pool[0].left.begin(), result.pool[0].left.end(), v) ==
+        result.pool[0].left.end()) {
+      left_alive.push_back(v);
+    }
+  }
+  for (VertexId v = 0; v < g.num_right(); ++v) {
+    if (std::find(result.pool[0].right.begin(),
+                  result.pool[0].right.end(),
+                  v) == result.pool[0].right.end()) {
+      right_alive.push_back(v);
+    }
+  }
+  const InducedSubgraph peeled = g.Induce(left_alive, right_alive);
+  EXPECT_EQ(result.pool[1].BalancedSize(),
+            SolverRegistry::Solve("brute", peeled.graph).best.BalancedSize());
 }
 
 TEST(SearchContext, FramesGrowOnDemandAndStayStable) {

@@ -63,6 +63,91 @@ TEST(Io, MalformedLineThrows) {
   EXPECT_THROW(ReadEdgeList(zero), std::runtime_error);
 }
 
+TEST(IoSafe, StructuredErrorsInsteadOfThrows) {
+  // Every malformed shape comes back as an IoError naming the line — the
+  // server-facing contract that a hostile payload can never throw through
+  // (let alone abort) the loader.
+  struct Case {
+    const char* input;
+    const char* why;
+  };
+  const Case cases[] = {
+      {"1 1\n2\n", "truncated line"},
+      {"1 1\nx 2\n", "non-numeric left id"},
+      {"1 1\n2 x\n", "non-numeric right id"},
+      {"1 1\n2 3.5\n", "fractional id"},
+      {"1 1\n2 4x\n", "trailing junk glued to the id"},
+      {"1 1\n-3 2\n", "negative id"},
+      {"1 1\n0 2\n", "zero id (ids are 1-based)"},
+      {"1 1\n99999999999999999999 2\n", "overflowing id"},
+  };
+  for (const Case& c : cases) {
+    std::istringstream in(c.input);
+    const ParsedEdgeList parsed = ReadEdgeListSafe(in);
+    EXPECT_FALSE(parsed.ok()) << c.why;
+    EXPECT_EQ(parsed.error.line, 2u) << c.why;
+    EXPECT_FALSE(parsed.error.message.empty()) << c.why;
+  }
+}
+
+TEST(IoSafe, OutOfRangeVertexIdIsAnErrorNotAWrap) {
+  // 2^32 + 2 used to wrap to id 1 through the uint32 cast; it must now be
+  // a structured out-of-range error under any limit that excludes it.
+  std::istringstream in("4294967298 1\n");
+  const ParsedEdgeList parsed = ReadEdgeListSafe(in);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.error.message.find("out of range"), std::string::npos);
+
+  EdgeListLimits tight;
+  tight.max_vertex_id = 100;
+  std::istringstream in2("101 1\n");
+  EXPECT_FALSE(ReadEdgeListSafe(in2, tight).ok());
+  std::istringstream in3("100 1\n");
+  EXPECT_TRUE(ReadEdgeListSafe(in3, tight).ok());
+}
+
+TEST(IoSafe, EdgeCountLimit) {
+  EdgeListLimits limits;
+  limits.max_edges = 2;
+  std::istringstream ok("1 1\n2 2\n");
+  EXPECT_TRUE(ReadEdgeListSafe(ok, limits).ok());
+  std::istringstream over("1 1\n2 2\n3 3\n");
+  const ParsedEdgeList parsed = ReadEdgeListSafe(over, limits);
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error.line, 3u);
+}
+
+TEST(IoSafe, WellFormedInputStillParses) {
+  std::istringstream in(
+      "% header\n"
+      "1 1 5.0 1234567\n"
+      "  2 3\n"
+      "# comment\n"
+      "2 1\n");
+  const ParsedEdgeList parsed = ReadEdgeListSafe(in);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.error.line, 0u);
+  EXPECT_EQ(parsed.graph.num_edges(), 3u);
+  EXPECT_TRUE(parsed.graph.HasEdge(1, 2));
+}
+
+TEST(IoSafe, MissingFileIsAnError) {
+  const ParsedEdgeList parsed =
+      LoadEdgeListFileSafe("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error.line, 0u);
+}
+
+TEST(IoSafe, ThrowingWrapperFormatsTheLine) {
+  std::istringstream in("1 1\nbad line\n");
+  try {
+    ReadEdgeList(in);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
 TEST(Io, WriteReadRoundTrip) {
   const BipartiteGraph g = testing::RandomGraph(25, 18, 0.2, 11);
   std::stringstream buffer;

@@ -2,6 +2,10 @@
 
 #include "mbb.h"  // umbrella: everything must compile together
 
+#include <chrono>
+#include <memory>
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "test_util.h"
@@ -163,6 +167,57 @@ TEST(HbvStats, SubgraphAccountingIsConsistent) {
                   // second time; allow that overlap
                   r.stats.subgraphs_searched);
   }
+}
+
+TEST(ExternalCancellation, SecondThreadStopsARunningSolve) {
+  // A serving front end cancels a query by tripping the request's token
+  // from another thread while the solver is deep in its recursion. The
+  // solve must return promptly, report the external cause, and leave its
+  // SearchContext reusable for the next query.
+  const BipartiteGraph hard = testing::RandomGraph(72, 72, 0.90, 7);
+  SearchContext context;
+  SolverOptions options;
+  options.stop_token = std::make_shared<StopToken>();
+  options.context = &context;
+
+  std::thread canceller([token = options.stop_token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    token->RequestStop(StopCause::kExternal);
+  });
+  const auto start = std::chrono::steady_clock::now();
+  const MbbResult cancelled = SolverRegistry::Solve("dense", hard, options);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  canceller.join();
+
+  EXPECT_FALSE(cancelled.exact);
+  EXPECT_EQ(cancelled.stats.stop_cause, StopCause::kExternal);
+  // The token is observed at every limit check, so the return is prompt
+  // even though the uncancelled solve runs for seconds (bound is generous
+  // for the sanitizer legs).
+  EXPECT_LT(seconds, 10.0);
+
+  // The aborted search must not leak state into the pooled context: the
+  // same arena must produce the exact answer on the next query.
+  const BipartiteGraph small = testing::RandomGraph(24, 24, 0.5, 11);
+  SolverOptions reuse;
+  reuse.context = &context;
+  const MbbResult after = SolverRegistry::Solve("dense", small, reuse);
+  const MbbResult fresh = SolverRegistry::Solve("dense", small, {});
+  EXPECT_TRUE(after.exact);
+  EXPECT_EQ(after.best.BalancedSize(), fresh.best.BalancedSize());
+}
+
+TEST(ExternalCancellation, TokenTrippedBeforeTheSolveShortCircuits) {
+  const BipartiteGraph g = testing::RandomGraph(40, 40, 0.6, 3);
+  SolverOptions options;
+  options.stop_token = std::make_shared<StopToken>();
+  options.stop_token->RequestStop(StopCause::kExternal);
+  const MbbResult r = SolverRegistry::Solve("dense", g, options);
+  EXPECT_FALSE(r.exact);
+  EXPECT_EQ(r.stats.stop_cause, StopCause::kExternal);
+  EXPECT_TRUE(r.best.Empty());
 }
 
 TEST(DenseMbbStats, MatchingPrunesAreCounted) {
