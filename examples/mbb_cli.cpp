@@ -43,6 +43,10 @@ void Usage() {
       "                              subtree layer (default 0 = auto)\n"
       "  --deterministic             thread-count-invariant parallel mode:\n"
       "                              identical result at any --threads\n"
+      "  --sparse-reduction on|off   run the hbv-family reduction phases\n"
+      "                              on the CSR substrate (default on;\n"
+      "                              off = legacy per-phase rebuilds,\n"
+      "                              results identical either way)\n"
       "  --stats                     print search statistics\n"
       "  --list                      list dataset names and exit\n"
       "  --list-algos                list registered solvers and exit\n";
@@ -57,7 +61,8 @@ std::string CanonicalAlgoName(std::string name) {
 
 MbbResult Solve(const std::string& algorithm, const BipartiteGraph& g,
                 double timeout, std::uint32_t threads,
-                std::uint32_t spawn_depth, bool deterministic) {
+                std::uint32_t spawn_depth, bool deterministic,
+                bool sparse_reduction) {
   if (algorithm == "mvb") {
     MbbResult r;
     r.best = MaximumVertexBiclique(g);
@@ -67,6 +72,7 @@ MbbResult Solve(const std::string& algorithm, const BipartiteGraph& g,
   options.num_threads = threads;
   options.spawn_depth = spawn_depth;
   options.deterministic = deterministic;
+  options.sparse_reduction = sparse_reduction;
   return SolverRegistry::Solve(algorithm, g, options);
 }
 
@@ -86,6 +92,7 @@ int main(int argc, char** argv) {
   std::uint32_t threads = 1;
   std::uint32_t spawn_depth = 0;
   bool deterministic = false;
+  bool sparse_reduction = true;
   bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -161,6 +168,19 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--deterministic") {
       deterministic = true;
+    } else if (arg == "--sparse-reduction") {
+      const std::string value = next_value();
+      if (!missing_value) {
+        if (value == "on") {
+          sparse_reduction = true;
+        } else if (value == "off") {
+          sparse_reduction = false;
+        } else {
+          std::cerr << "--sparse-reduction expects 'on' or 'off', got '"
+                    << value << "'\n";
+          return 1;
+        }
+      }
     } else if (arg == "--stats") {
       stats = true;
     } else if (arg == "--list") {
@@ -217,8 +237,8 @@ int main(int argc, char** argv) {
             << "\n";
 
   WallTimer timer;
-  const MbbResult result =
-      Solve(algorithm, g, timeout, threads, spawn_depth, deterministic);
+  const MbbResult result = Solve(algorithm, g, timeout, threads, spawn_depth,
+                                 deterministic, sparse_reduction);
   const double seconds = timer.Seconds();
 
   std::cout << "algorithm: " << algorithm << "\n"
@@ -248,6 +268,12 @@ int main(int argc, char** argv) {
                 << "/" << s.tasks_stolen
                 << " shared_bound_prunes=" << s.shared_bound_prunes << "\n";
     }
+    std::cout << "       reduction: step1 removed "
+              << s.step1_vertices_removed << " vertices / "
+              << s.step1_edges_removed << " edges, core reduction removed "
+              << s.core_reduction_vertices_removed
+              << " vertices, sparse->dense switches="
+              << s.sparse_to_dense_switches << "\n";
   }
   return 0;
 }

@@ -6,6 +6,7 @@
 
 #include "engine/parallel.h"
 #include "engine/search_context.h"
+#include "graph/csr.h"
 #include "order/core_decomposition.h"
 
 namespace mbb {
@@ -64,6 +65,7 @@ BridgeOutcome BridgeMbbParallel(const BipartiteGraph& reduced,
   struct WorkerState {
     CenteredWorkspace workspace;
     SearchContext ctx;
+    CsrScratch scratch;
   };
   std::vector<WorkerState> workers(num_threads);
 
@@ -81,7 +83,10 @@ BridgeOutcome BridgeMbbParallel(const BipartiteGraph& reduced,
       slot.outcome = CenterScan::Outcome::kPrunedSize;
       return;
     }
-    InducedSubgraph induced = reduced.Induce(*lists.left, *lists.right);
+    InducedSubgraph induced =
+        options.sparse_reduction
+            ? CsrInduce(reduced, *lists.left, *lists.right, ws.scratch)
+            : reduced.Induce(*lists.left, *lists.right);
     if (options.use_degeneracy_pruning) {
       slot.degeneracy = ComputeCores(induced.graph).degeneracy;
       if (slot.degeneracy <= snapshot) {
@@ -174,6 +179,7 @@ BridgeOutcome BridgeMbb(const BipartiteGraph& reduced,
   std::vector<Survivor> kept;
 
   CenteredWorkspace workspace;
+  CsrScratch scratch;
   for (const std::uint32_t center : order.order) {
     CenteredSubgraph s =
         BuildCenteredSubgraph(reduced, order, center, workspace);
@@ -191,7 +197,9 @@ BridgeOutcome BridgeMbb(const BipartiteGraph& reduced,
     // Lines 7-10: degeneracy pruning. A (k+1) x (k+1) biclique forces a
     // subgraph of minimum degree k+1, so δ(H) <= k rules improvement out.
     InducedSubgraph induced =
-        reduced.Induce(*lists.left, *lists.right);
+        options.sparse_reduction
+            ? CsrInduce(reduced, *lists.left, *lists.right, scratch)
+            : reduced.Induce(*lists.left, *lists.right);
     std::uint32_t h_degeneracy = 0;
     if (options.use_degeneracy_pruning) {
       h_degeneracy = ComputeCores(induced.graph).degeneracy;

@@ -37,6 +37,11 @@ struct BridgeOptions {
   /// thread count, at the cost of running the local greedy on centres a
   /// live bound would have skipped.
   bool deterministic = false;
+  /// Build the per-centre induced subgraphs through a reusable
+  /// `CsrScratch` (`CsrInduce`) instead of `BipartiteGraph::Induce`: same
+  /// subgraph bit for bit, no per-centre global edge sort. See
+  /// `HbvOptions::sparse_reduction`.
+  bool sparse_reduction = true;
   GreedyOptions greedy;
 };
 

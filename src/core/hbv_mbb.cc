@@ -34,7 +34,7 @@ MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
   std::vector<VertexId> right_map;
 
   if (options.use_heuristic && options.use_core_optimizations) {
-    HMbbOutcome h = HMbb(g, options.greedy);
+    HMbbOutcome h = HMbb(g, options.greedy, options.sparse_reduction);
     out.stats.Merge(h.stats);
     best_original = std::move(h.best);
     if (h.solved_exactly) {
@@ -72,6 +72,7 @@ MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
   bridge_options.greedy = options.greedy;
   bridge_options.num_threads = options.num_threads;
   bridge_options.deterministic = options.deterministic;
+  bridge_options.sparse_reduction = options.sparse_reduction;
   BridgeOutcome bridge = BridgeMbb(reduced, best_size, bridge_options, &ctx);
   out.stats.Merge(bridge.stats);
   if (bridge.improved) {
@@ -91,6 +92,7 @@ MbbResult HbvMbb(const BipartiteGraph& g, const HbvOptions& options) {
   verify_options.use_core_reduction = options.use_core_optimizations;
   verify_options.use_dense_search = options.use_dense_optimizations;
   verify_options.num_threads = options.num_threads;
+  verify_options.sparse_reduction = options.sparse_reduction;
   verify_options.dense.limits = options.limits;
   verify_options.dense.spawn_depth = options.spawn_depth;
   verify_options.dense.deterministic = options.deterministic;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "graph/csr.h"
 #include "order/core_decomposition.h"
 
 namespace mbb {
@@ -145,9 +146,16 @@ Biclique GreedyMbb(const BipartiteGraph& g,
   return best;
 }
 
-HMbbOutcome HMbb(const BipartiteGraph& g, const GreedyOptions& options) {
+HMbbOutcome HMbb(const BipartiteGraph& g, const GreedyOptions& options,
+                 bool sparse_reduction) {
   HMbbOutcome out;
   out.stats.terminated_step = 1;
+  // One reusable scratch serves both reduction rounds on the sparse path.
+  CsrScratch scratch;
+  const auto reduce = [&](const KCoreVertices& kept) {
+    return sparse_reduction ? CsrInduce(g, kept.left, kept.right, scratch)
+                            : g.Induce(kept.left, kept.right);
+  };
 
   // Line 2: maximum-degree greedy.
   const std::vector<std::uint32_t> degrees = DegreeScores(g);
@@ -171,7 +179,7 @@ HMbbOutcome HMbb(const BipartiteGraph& g, const GreedyOptions& options) {
     out.solved_exactly = true;
     return out;
   }
-  InducedSubgraph reduced = g.Induce(kept.left, kept.right);
+  InducedSubgraph reduced = reduce(kept);
 
   // Line 6: maximum-core greedy on the reduced graph.
   std::vector<std::uint32_t> reduced_cores(reduced.graph.NumVertices());
@@ -202,9 +210,12 @@ HMbbOutcome HMbb(const BipartiteGraph& g, const GreedyOptions& options) {
       out.solved_exactly = true;
       return out;
     }
-    reduced = g.Induce(kept2.left, kept2.right);
+    reduced = reduce(kept2);
   }
 
+  out.stats.step1_vertices_removed =
+      g.NumVertices() - reduced.graph.NumVertices();
+  out.stats.step1_edges_removed = g.num_edges() - reduced.graph.num_edges();
   out.reduced = std::move(reduced.graph);
   out.left_map = std::move(reduced.left_to_old);
   out.right_map = std::move(reduced.right_to_old);

@@ -57,8 +57,14 @@ struct HMbbOutcome {
 };
 
 /// Runs hMBB: degree-greedy, Lemma 4 reduction, Lemma 5 early termination,
-/// core-greedy, and a final reduction (Algorithm 5 line by line).
-HMbbOutcome HMbb(const BipartiteGraph& g, const GreedyOptions& options = {});
+/// core-greedy, and a final reduction (Algorithm 5 line by line). With
+/// `sparse_reduction` (the default) the reduced graphs are built through a
+/// `CsrScratch` in O(Σ deg(kept)) with no global edge sort; the result is
+/// bit-identical to the legacy `Induce` path. The stats record the step-1
+/// shrinkage (`step1_vertices_removed` / `step1_edges_removed`) on both
+/// paths.
+HMbbOutcome HMbb(const BipartiteGraph& g, const GreedyOptions& options = {},
+                 bool sparse_reduction = true);
 
 }  // namespace mbb
 

@@ -22,6 +22,10 @@ void SearchStats::Merge(const SearchStats& other) {
   subgraphs_pruned_degeneracy += other.subgraphs_pruned_degeneracy;
   subgraphs_searched += other.subgraphs_searched;
   subgraphs_skipped += other.subgraphs_skipped;
+  step1_vertices_removed += other.step1_vertices_removed;
+  step1_edges_removed += other.step1_edges_removed;
+  core_reduction_vertices_removed += other.core_reduction_vertices_removed;
+  sparse_to_dense_switches += other.sparse_to_dense_switches;
   terminated_step = std::max(terminated_step, other.terminated_step);
   timed_out = timed_out || other.timed_out;
   if (stop_cause == StopCause::kNone) stop_cause = other.stop_cause;

@@ -182,6 +182,23 @@ struct SearchStats {
   /// survivor lands in exactly one of pruned-size / pruned-degeneracy /
   /// searched / skipped.
   std::uint64_t subgraphs_skipped = 0;
+
+  // Sparse-first reduction pipeline observability. Counted identically on
+  // the CSR and the legacy reduction paths, except for the representation
+  // switch counter, which only the sparse path records.
+  /// Vertices deleted by step 1's Lemma 4 (k+1)-core reduction (original
+  /// graph minus the reduced graph hbvMBB hands to step 2).
+  std::uint64_t step1_vertices_removed = 0;
+  /// Edges deleted by the step-1 reduction.
+  std::uint64_t step1_edges_removed = 0;
+  /// Vertices shaved off surviving subgraphs by verify's per-subgraph
+  /// (|A*|+1)-core reduction (summed over survivors; excludes subgraphs
+  /// the reduction emptied, which land in `subgraphs_pruned_degeneracy`).
+  std::uint64_t core_reduction_vertices_removed = 0;
+  /// Sparse→dense representation switches: compacted sparse kernels
+  /// materialised as dense `BitMatrix` subgraphs for the anchored search.
+  /// Zero on the legacy path (`sparse_reduction = false`).
+  std::uint64_t sparse_to_dense_switches = 0;
   /// Which step of Algorithm 4 produced + certified the final answer
   /// (1 = heuristic/reduction, 2 = bridge, 3 = verification); 0 = n/a.
   int terminated_step = 0;

@@ -9,6 +9,7 @@
 #include "core/basic_bb.h"
 #include "engine/parallel.h"
 #include "engine/search_context.h"
+#include "graph/csr.h"
 #include "order/core_decomposition.h"
 
 namespace mbb {
@@ -38,7 +39,7 @@ SurvivorResult ProcessSurvivor(const BipartiteGraph& reduced,
                                const VerifyOptions& options,
                                const DenseMbbOptions& dense_options,
                                std::uint32_t best_size, SearchContext& ctx,
-                               SearchStats& stats) {
+                               CsrScratch& scratch, SearchStats& stats) {
   SurvivorResult out;
 
   // Stale pruning: the incumbent may have grown since step 2 (or, in the
@@ -60,24 +61,46 @@ SurvivorResult ProcessSurvivor(const BipartiteGraph& reduced,
     const std::vector<VertexId>* left_list = &center_side_vertices;
     const std::vector<VertexId>* right_list = &other_side_vertices;
     if (s.center_side == Side::kRight) std::swap(left_list, right_list);
-    const InducedSubgraph induced = reduced.Induce(*left_list, *right_list);
-    const CoreDecomposition cores = ComputeCores(induced.graph);
-    if (cores.degeneracy <= best_size) {
-      ++stats.subgraphs_pruned_degeneracy;
-      return out;
-    }
     std::vector<VertexId> kept_left;
     std::vector<VertexId> kept_right;
-    for (VertexId l = 0; l < induced.graph.num_left(); ++l) {
-      if (cores.core[induced.graph.GlobalIndex(Side::kLeft, l)] > best_size) {
-        kept_left.push_back(induced.left_to_old[l]);
+    if (options.sparse_reduction) {
+      // Sparse path: peel H in place on the CSR scratch. The surviving
+      // set is the (best_size+1)-core — the same vertices, in the same
+      // list order, the core-number filter below keeps — and an empty
+      // core is exactly the δ(H) <= best_size degeneracy prune.
+      scratch.LoadSubgraph(reduced, *left_list, *right_list);
+      scratch.PeelToCore(best_size + 1);
+      if (scratch.NumAlive(Side::kLeft) == 0 ||
+          scratch.NumAlive(Side::kRight) == 0) {
+        ++stats.subgraphs_pruned_degeneracy;
+        return out;
+      }
+      kept_left = scratch.LiveOldIds(Side::kLeft);
+      kept_right = scratch.LiveOldIds(Side::kRight);
+    } else {
+      const InducedSubgraph induced =
+          reduced.Induce(*left_list, *right_list);
+      const CoreDecomposition cores = ComputeCores(induced.graph);
+      if (cores.degeneracy <= best_size) {
+        ++stats.subgraphs_pruned_degeneracy;
+        return out;
+      }
+      for (VertexId l = 0; l < induced.graph.num_left(); ++l) {
+        if (cores.core[induced.graph.GlobalIndex(Side::kLeft, l)] >
+            best_size) {
+          kept_left.push_back(induced.left_to_old[l]);
+        }
+      }
+      for (VertexId r = 0; r < induced.graph.num_right(); ++r) {
+        if (cores.core[induced.graph.GlobalIndex(Side::kRight, r)] >
+            best_size) {
+          kept_right.push_back(induced.right_to_old[r]);
+        }
       }
     }
-    for (VertexId r = 0; r < induced.graph.num_right(); ++r) {
-      if (cores.core[induced.graph.GlobalIndex(Side::kRight, r)] > best_size) {
-        kept_right.push_back(induced.right_to_old[r]);
-      }
-    }
+    stats.core_reduction_vertices_removed +=
+        (left_list->size() + right_list->size()) -
+        (kept_left.size() + kept_right.size());
     if (s.center_side == Side::kRight) std::swap(kept_left, kept_right);
     // kept_left is now on the centre's side again.
     if (std::find(kept_left.begin(), kept_left.end(), s.same_side[0]) ==
@@ -97,7 +120,9 @@ SurvivorResult ProcessSurvivor(const BipartiteGraph& reduced,
     }
   }
 
-  // Lines 3-5: anchored exhaustive search on the dense local copy.
+  // Lines 3-5: the representation switch — only the compacted kernel is
+  // materialised in dense BitMatrix form for the anchored search.
+  if (options.sparse_reduction) ++stats.sparse_to_dense_switches;
   const DenseSubgraph dense = DenseSubgraph::Build(
       reduced, center_side_vertices, other_side_vertices, s.center_side);
   ++stats.subgraphs_searched;
@@ -132,10 +157,11 @@ VerifyOutcome VerifySequential(const BipartiteGraph& reduced,
   out.stats.terminated_step = 3;
   const DenseMbbOptions& dense_options = options.dense;
 
+  CsrScratch scratch;
   for (std::size_t i = 0; i < survivors.size(); ++i) {
     SurvivorResult result =
         ProcessSurvivor(reduced, survivors[i], options, dense_options,
-                        out.best_size, ctx, out.stats);
+                        out.best_size, ctx, scratch, out.stats);
     if (result.best_size > out.best_size) {
       out.best = std::move(result.best);
       out.best_size = result.best_size;
@@ -186,6 +212,7 @@ VerifyOutcome VerifyParallel(const BipartiteGraph& reduced,
 
   struct WorkerState {
     SearchContext ctx;
+    CsrScratch scratch;
     SearchStats stats;
     bool exact = true;
   };
@@ -205,7 +232,7 @@ VerifyOutcome VerifyParallel(const BipartiteGraph& reduced,
                     reduced, survivors[item], options, dense_options,
                     dense_options.deterministic ? initial_best_size
                                                 : shared_bound.Load(),
-                    state.ctx, state.stats);
+                    state.ctx, state.scratch, state.stats);
                 if (result.best_size > 0 && !dense_options.deterministic) {
                   shared_bound.RaiseTo(result.best_size);
                 }

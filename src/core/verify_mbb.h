@@ -30,6 +30,15 @@ struct VerifyOptions {
   /// anchored search's work-stealing subtree layer (`dense.num_threads`)
   /// instead, so a single worst-case subgraph still uses every core.
   std::uint32_t num_threads = 1;
+  /// Run the per-subgraph core reduction on the CSR substrate: the
+  /// survivor is loaded into a reusable `CsrScratch`, peeled in place to
+  /// its (|A*|+1)-core (queue-based, O(|E(H)|)), and only the compacted
+  /// kernel is materialised as a dense `BitMatrix` subgraph for the
+  /// anchored search (counted in `SearchStats::sparse_to_dense_switches`).
+  /// Survivor pruning and kept-vertex order are bit-identical to the
+  /// legacy `Induce` + `ComputeCores` path. See
+  /// `HbvOptions::sparse_reduction`.
+  bool sparse_reduction = true;
   DenseMbbOptions dense;
 };
 

@@ -99,6 +99,7 @@ class HbvSolver final : public NamedSolver<true> {
     hbv.num_threads = options.num_threads;
     hbv.spawn_depth = options.spawn_depth;
     hbv.deterministic = options.deterministic;
+    hbv.sparse_reduction = options.sparse_reduction;
     return HbvMbb(g, hbv);
   }
 
@@ -117,6 +118,7 @@ class AutoSolver final : public NamedSolver<true> {
     hbv.num_threads = options.num_threads;
     hbv.spawn_depth = options.spawn_depth;
     hbv.deterministic = options.deterministic;
+    hbv.sparse_reduction = options.sparse_reduction;
     return FindMaximumBalancedBiclique(g, hbv, options.dense_threshold);
   }
 };
@@ -212,6 +214,7 @@ class TopKSolver final : public NamedSolver<true> {
     topk.hbv.num_threads = options.num_threads;
     topk.hbv.spawn_depth = options.spawn_depth;
     topk.hbv.deterministic = options.deterministic;
+    topk.hbv.sparse_reduction = options.sparse_reduction;
     topk.dense_threshold = options.dense_threshold;
     TopKResult found = TopKMbb(g, topk);
     MbbResult result;

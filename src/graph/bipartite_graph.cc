@@ -2,12 +2,57 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace mbb {
+
+namespace {
+
+/// First out-of-range endpoint of `edges`, formatted as a structured
+/// message ("edge 3: right id 12 out of range [0, 6)"); empty when every
+/// edge is valid. Release builds pay this O(|E|) scan so a hostile or
+/// buggy edge list fails loudly instead of corrupting the offset arrays —
+/// the same contract `ReadEdgeListSafe` gives file input.
+std::string ValidateEdges(std::uint32_t num_left, std::uint32_t num_right,
+                          const std::vector<Edge>& edges) {
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const Edge& e = edges[i];
+    if (e.first >= num_left) {
+      return "edge " + std::to_string(i) + ": left id " +
+             std::to_string(e.first) + " out of range [0, " +
+             std::to_string(num_left) + ")";
+    }
+    if (e.second >= num_right) {
+      return "edge " + std::to_string(i) + ": right id " +
+             std::to_string(e.second) + " out of range [0, " +
+             std::to_string(num_right) + ")";
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool BipartiteGraph::TryFromEdges(std::uint32_t num_left,
+                                  std::uint32_t num_right,
+                                  std::vector<Edge> edges,
+                                  BipartiteGraph* out, std::string* error) {
+  std::string message = ValidateEdges(num_left, num_right, edges);
+  if (!message.empty()) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  }
+  *out = FromEdges(num_left, num_right, std::move(edges));
+  return true;
+}
 
 BipartiteGraph BipartiteGraph::FromEdges(std::uint32_t num_left,
                                          std::uint32_t num_right,
                                          std::vector<Edge> edges) {
+  const std::string message = ValidateEdges(num_left, num_right, edges);
+  if (!message.empty()) throw std::invalid_argument(message);
+
   std::sort(edges.begin(), edges.end());
   edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
 
@@ -18,7 +63,6 @@ BipartiteGraph BipartiteGraph::FromEdges(std::uint32_t num_left,
   g.right_offsets_.assign(num_right + std::size_t{1}, 0);
 
   for (const Edge& e : edges) {
-    assert(e.first < num_left && e.second < num_right);
     ++g.left_offsets_[e.first + 1];
     ++g.right_offsets_[e.second + 1];
   }
@@ -47,6 +91,45 @@ BipartiteGraph BipartiteGraph::FromEdges(std::uint32_t num_left,
     // increasing left ids.
     for (const Edge& e : edges) {
       g.right_adj_[cursor[e.second]++] = e.first;
+    }
+  }
+  return g;
+}
+
+BipartiteGraph BipartiteGraph::FromCsrLeft(
+    std::uint32_t num_left, std::uint32_t num_right,
+    std::vector<std::uint64_t> left_offsets, std::vector<VertexId> left_adj) {
+  assert(left_offsets.size() == num_left + std::size_t{1});
+  assert(left_offsets.empty() || left_offsets.back() == left_adj.size());
+#ifndef NDEBUG
+  for (std::uint32_t l = 0; l < num_left; ++l) {
+    for (std::uint64_t i = left_offsets[l]; i < left_offsets[l + 1]; ++i) {
+      assert(left_adj[i] < num_right);
+      assert(i == left_offsets[l] || left_adj[i - 1] < left_adj[i]);
+    }
+  }
+#endif
+  BipartiteGraph g;
+  g.num_left_ = num_left;
+  g.num_right_ = num_right;
+  g.left_offsets_ = std::move(left_offsets);
+  g.left_adj_ = std::move(left_adj);
+
+  g.right_offsets_.assign(num_right + std::size_t{1}, 0);
+  for (const VertexId r : g.left_adj_) ++g.right_offsets_[r + 1];
+  for (std::size_t i = 1; i < g.right_offsets_.size(); ++i) {
+    g.right_offsets_[i] += g.right_offsets_[i - 1];
+  }
+  g.right_adj_.resize(g.left_adj_.size());
+  {
+    std::vector<std::uint64_t> cursor(g.right_offsets_.begin(),
+                                      g.right_offsets_.end() - 1);
+    // Left rows visited in increasing id keep every right list sorted.
+    for (VertexId l = 0; l < num_left; ++l) {
+      for (std::uint64_t i = g.left_offsets_[l]; i < g.left_offsets_[l + 1];
+           ++i) {
+        g.right_adj_[cursor[g.left_adj_[i]]++] = l;
+      }
     }
   }
   return g;

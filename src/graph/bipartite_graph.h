@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -35,12 +36,30 @@ class BipartiteGraph {
  public:
   BipartiteGraph() = default;
 
-  /// Builds a graph from an edge list. Duplicate edges are merged; edges
-  /// referencing vertices outside `[0, num_left) x [0, num_right)` are
-  /// undefined behaviour (checked by assert in debug builds).
+  /// Builds a graph from an edge list. Duplicate edges are merged. Edges
+  /// referencing vertices outside `[0, num_left) x [0, num_right)` throw
+  /// `std::invalid_argument` naming the offending edge — in release builds
+  /// too, matching the structured-error contract of `ReadEdgeListSafe`
+  /// (an out-of-range endpoint used to be silent UB outside debug builds).
   static BipartiteGraph FromEdges(std::uint32_t num_left,
                                   std::uint32_t num_right,
                                   std::vector<Edge> edges);
+
+  /// Non-throwing form of `FromEdges`: returns false and writes a
+  /// structured message ("edge 3: right id 12 out of range [0, 6)") into
+  /// `error` when an endpoint is out of range, leaving `out` untouched.
+  static bool TryFromEdges(std::uint32_t num_left, std::uint32_t num_right,
+                           std::vector<Edge> edges, BipartiteGraph* out,
+                           std::string* error);
+
+  /// Trusted fast path: adopts a ready left-side CSR (per-vertex neighbour
+  /// lists sorted and duplicate-free — asserted in debug builds) and
+  /// derives the right-side arrays in O(|E|), skipping the `FromEdges`
+  /// sort entirely. `CsrScratch::Compact` builds through this.
+  static BipartiteGraph FromCsrLeft(std::uint32_t num_left,
+                                    std::uint32_t num_right,
+                                    std::vector<std::uint64_t> left_offsets,
+                                    std::vector<VertexId> left_adj);
 
   std::uint32_t num_left() const { return num_left_; }
   std::uint32_t num_right() const { return num_right_; }
@@ -96,6 +115,19 @@ class BipartiteGraph {
 
   /// All edges, left id first, sorted by (left, right).
   std::vector<Edge> CollectEdges() const;
+
+  /// --- Raw CSR access ----------------------------------------------------
+  ///
+  /// The underlying offset/adjacency arrays of one side, for zero-copy
+  /// sparse views (`CsrView`). `RawOffsets(side)` has `NumVertices(side)+1`
+  /// entries; vertex `v`'s neighbours are
+  /// `RawAdjacency(side)[RawOffsets(side)[v] .. RawOffsets(side)[v+1])`.
+  std::span<const std::uint64_t> RawOffsets(Side side) const {
+    return side == Side::kLeft ? left_offsets_ : right_offsets_;
+  }
+  std::span<const VertexId> RawAdjacency(Side side) const {
+    return side == Side::kLeft ? left_adj_ : right_adj_;
+  }
 
  private:
   std::uint32_t num_left_ = 0;

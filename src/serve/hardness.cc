@@ -4,12 +4,14 @@
 #include <cmath>
 #include <vector>
 
+#include "graph/csr.h"
+
 namespace mbb::serve {
 
 namespace {
 
 /// Largest k with at least k vertices of degree >= k on `side`.
-std::uint32_t SideHIndex(const BipartiteGraph& g, Side side) {
+std::uint32_t SideHIndex(const CsrView& g, Side side) {
   const std::uint32_t n = g.NumVertices(side);
   std::vector<std::uint32_t> degrees(n);
   for (VertexId v = 0; v < n; ++v) degrees[v] = g.Degree(side, v);
@@ -21,7 +23,7 @@ std::uint32_t SideHIndex(const BipartiteGraph& g, Side side) {
 
 /// |N(N(v))| for one vertex (distinct same-side vertices, v included),
 /// stopping once `work_budget` adjacency entries have been touched.
-std::uint32_t TwoHopCount(const BipartiteGraph& g, Side side, VertexId v,
+std::uint32_t TwoHopCount(const CsrView& g, Side side, VertexId v,
                           std::vector<std::uint32_t>& stamp,
                           std::uint32_t stamp_value,
                           std::uint64_t work_budget) {
@@ -48,8 +50,12 @@ HardnessFeatures ComputeHardness(const BipartiteGraph& g) {
   f.num_edges = g.num_edges();
   f.density = g.Density();
   f.max_degree = g.MaxDegree();
+  // The estimator only reads adjacency, so it runs on the zero-copy CSR
+  // view — the same substrate the reduction phases use — rather than
+  // going through the BipartiteGraph accessors per probe.
+  const CsrView csr = CsrView::Of(g);
   f.balanced_h_index =
-      std::min(SideHIndex(g, Side::kLeft), SideHIndex(g, Side::kRight));
+      std::min(SideHIndex(csr, Side::kLeft), SideHIndex(csr, Side::kRight));
 
   // Two-hop estimate over the top-degree left vertices (up to 8 of them,
   // 4096 adjacency entries each): enough to spot a dense hub cluster, a
@@ -62,13 +68,13 @@ HardnessFeatures ComputeHardness(const BipartiteGraph& g) {
     const std::size_t sample = std::min<std::size_t>(kSampleSize, f.num_left);
     std::partial_sort(by_degree.begin(), by_degree.begin() + sample,
                       by_degree.end(), [&](VertexId a, VertexId b) {
-                        return g.Degree(Side::kLeft, a) >
-                               g.Degree(Side::kLeft, b);
+                        return csr.Degree(Side::kLeft, a) >
+                               csr.Degree(Side::kLeft, b);
                       });
     std::vector<std::uint32_t> stamp(f.num_left, 0);
     for (std::size_t i = 0; i < sample; ++i) {
       const std::uint32_t count =
-          TwoHopCount(g, Side::kLeft, by_degree[i], stamp,
+          TwoHopCount(csr, Side::kLeft, by_degree[i], stamp,
                       static_cast<std::uint32_t>(i + 1), kWorkBudget);
       f.two_hop_core = std::max(f.two_hop_core, count);
     }

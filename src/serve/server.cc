@@ -271,6 +271,16 @@ Json Server::StatsPayload() const {
   payload.emplace("rejected_invalid", Json(counters.rejected_invalid));
   payload.emplace("cancelled", Json(counters.cancelled));
   payload.emplace("expired_in_queue", Json(counters.expired_in_queue));
+  Json::Object reduction;
+  reduction.emplace("step1_vertices_removed",
+                    Json(counters.step1_vertices_removed));
+  reduction.emplace("step1_edges_removed",
+                    Json(counters.step1_edges_removed));
+  reduction.emplace("core_reduction_vertices_removed",
+                    Json(counters.core_reduction_vertices_removed));
+  reduction.emplace("sparse_to_dense_switches",
+                    Json(counters.sparse_to_dense_switches));
+  payload.emplace("reduction", Json(std::move(reduction)));
   Json::Object cache_payload;
   cache_payload.emplace("exact_hits", Json(cache.exact_hits));
   cache_payload.emplace("isomorphic_hits", Json(cache.isomorphic_hits));
@@ -440,6 +450,12 @@ void Server::RunJob(Job job, SearchContext* context) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.solved;
     if (result.stats.stop_cause == StopCause::kExternal) ++counters_.cancelled;
+    counters_.step1_vertices_removed += result.stats.step1_vertices_removed;
+    counters_.step1_edges_removed += result.stats.step1_edges_removed;
+    counters_.core_reduction_vertices_removed +=
+        result.stats.core_reduction_vertices_removed;
+    counters_.sparse_to_dense_switches +=
+        result.stats.sparse_to_dense_switches;
   }
   FinishJob(job.request.id);
   job.callback(std::move(response));

@@ -55,6 +55,14 @@ struct ServerCounters {
   std::uint64_t rejected_invalid = 0;    // unknown algo etc.
   std::uint64_t cancelled = 0;           // stopped before or during solve
   std::uint64_t expired_in_queue = 0;    // deadline passed while queued
+
+  /// Reduction work aggregated from the `SearchStats` of every completed
+  /// solve (see the per-step counters in `core/stats.h`): how much of the
+  /// serving load the sparse pipeline peels away before any dense search.
+  std::uint64_t step1_vertices_removed = 0;
+  std::uint64_t step1_edges_removed = 0;
+  std::uint64_t core_reduction_vertices_removed = 0;
+  std::uint64_t sparse_to_dense_switches = 0;
 };
 
 /// Long-lived serving core exposing `SolverRegistry::Solve` to concurrent

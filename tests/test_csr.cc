@@ -1,0 +1,342 @@
+#include "graph/csr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "engine/registry.h"
+#include "engine/solver.h"
+#include "order/core_decomposition.h"
+#include "test_util.h"
+
+namespace mbb {
+namespace {
+
+using testing::PaperExampleGraph;
+using testing::RandomGraph;
+
+/// Neighbour list of `v` as a vector (reference path: BipartiteGraph).
+std::vector<VertexId> GraphNeighbors(const BipartiteGraph& g, Side side,
+                                     VertexId v) {
+  const auto span = g.Neighbors(side, v);
+  return {span.begin(), span.end()};
+}
+
+/// Live neighbour list of scratch vertex `v`.
+std::vector<VertexId> ScratchNeighbors(const CsrScratch& scratch, Side side,
+                                       VertexId v) {
+  std::vector<VertexId> out;
+  scratch.ForEachNeighbor(side, v, [&](VertexId w) { out.push_back(w); });
+  return out;
+}
+
+/// Structural equality of two graphs: sizes plus every adjacency row.
+void ExpectSameGraph(const BipartiteGraph& a, const BipartiteGraph& b) {
+  ASSERT_EQ(a.num_left(), b.num_left());
+  ASSERT_EQ(a.num_right(), b.num_right());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (const Side side : {Side::kLeft, Side::kRight}) {
+    for (VertexId v = 0; v < a.NumVertices(side); ++v) {
+      EXPECT_EQ(GraphNeighbors(a, side, v), GraphNeighbors(b, side, v))
+          << "side=" << static_cast<int>(side) << " v=" << v;
+    }
+  }
+}
+
+/// A duplicate-free random subset of [0, n), in shuffled (unsorted) order.
+std::vector<VertexId> RandomKeepList(std::uint32_t n, double keep_prob,
+                                     std::mt19937& rng) {
+  std::vector<VertexId> keep;
+  std::bernoulli_distribution coin(keep_prob);
+  for (VertexId v = 0; v < n; ++v) {
+    if (coin(rng)) keep.push_back(v);
+  }
+  std::shuffle(keep.begin(), keep.end(), rng);
+  return keep;
+}
+
+// ---------------------------------------------------------------------------
+// CsrView: zero-copy equivalence with the graph accessors.
+// ---------------------------------------------------------------------------
+
+TEST(CsrView, MatchesGraphAccessors) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BipartiteGraph g = RandomGraph(40, 30, 0.1, seed);
+    const CsrView view = CsrView::Of(g);
+    ASSERT_EQ(view.num_left(), g.num_left());
+    ASSERT_EQ(view.num_right(), g.num_right());
+    ASSERT_EQ(view.num_edges(), g.num_edges());
+    for (const Side side : {Side::kLeft, Side::kRight}) {
+      for (VertexId v = 0; v < g.NumVertices(side); ++v) {
+        EXPECT_EQ(view.Degree(side, v), g.Degree(side, v));
+        const auto span = view.Neighbors(side, v);
+        EXPECT_EQ(std::vector<VertexId>(span.begin(), span.end()),
+                  GraphNeighbors(g, side, v));
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CsrScratch: loading, deletion semantics, peeling, compaction.
+// ---------------------------------------------------------------------------
+
+TEST(CsrScratch, LoadMatchesGraph) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BipartiteGraph g = RandomGraph(25, 35, 0.15, seed);
+    CsrScratch scratch;
+    scratch.Load(g);
+    EXPECT_EQ(scratch.NumAlive(Side::kLeft), g.num_left());
+    EXPECT_EQ(scratch.NumAlive(Side::kRight), g.num_right());
+    EXPECT_EQ(scratch.num_live_edges(), g.num_edges());
+    for (const Side side : {Side::kLeft, Side::kRight}) {
+      for (VertexId v = 0; v < g.NumVertices(side); ++v) {
+        EXPECT_TRUE(scratch.Alive(side, v));
+        EXPECT_EQ(scratch.OldId(side, v), v);
+        EXPECT_EQ(scratch.Degree(side, v), g.Degree(side, v));
+        EXPECT_EQ(ScratchNeighbors(scratch, side, v),
+                  GraphNeighbors(g, side, v));
+      }
+    }
+  }
+}
+
+TEST(CsrScratch, LoadSubgraphMatchesInduce) {
+  std::mt19937 rng(7);
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BipartiteGraph g = RandomGraph(30, 30, 0.2, seed);
+    const std::vector<VertexId> left_keep = RandomKeepList(30, 0.6, rng);
+    const std::vector<VertexId> right_keep = RandomKeepList(30, 0.6, rng);
+    const InducedSubgraph induced = g.Induce(left_keep, right_keep);
+    CsrScratch scratch;
+    scratch.LoadSubgraph(g, left_keep, right_keep);
+    ASSERT_EQ(scratch.NumVertices(Side::kLeft), induced.graph.num_left());
+    ASSERT_EQ(scratch.NumVertices(Side::kRight), induced.graph.num_right());
+    EXPECT_EQ(scratch.num_live_edges(), induced.graph.num_edges());
+    for (const Side side : {Side::kLeft, Side::kRight}) {
+      const auto& to_old = side == Side::kLeft ? induced.left_to_old
+                                               : induced.right_to_old;
+      for (VertexId v = 0; v < induced.graph.NumVertices(side); ++v) {
+        EXPECT_EQ(scratch.OldId(side, v), to_old[v]);
+        EXPECT_EQ(scratch.Degree(side, v), induced.graph.Degree(side, v));
+        EXPECT_EQ(ScratchNeighbors(scratch, side, v),
+                  GraphNeighbors(induced.graph, side, v));
+      }
+    }
+  }
+}
+
+TEST(CsrScratch, DeletionsMatchReferenceModel) {
+  std::mt19937 rng(11);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const BipartiteGraph g = RandomGraph(20, 20, 0.3, seed);
+    CsrScratch scratch;
+    scratch.Load(g);
+
+    // Reference model: live edge set + live vertex sets.
+    std::set<std::pair<VertexId, VertexId>> edges;
+    std::set<VertexId> alive[2];
+    for (VertexId l = 0; l < g.num_left(); ++l) {
+      alive[0].insert(l);
+      for (const VertexId r : g.Neighbors(Side::kLeft, l)) {
+        edges.emplace(l, r);
+      }
+    }
+    for (VertexId r = 0; r < g.num_right(); ++r) alive[1].insert(r);
+
+    const auto check = [&] {
+      std::uint64_t live_model = 0;
+      for (const auto& [l, r] : edges) {
+        if (alive[0].count(l) != 0 && alive[1].count(r) != 0) ++live_model;
+      }
+      EXPECT_EQ(scratch.num_live_edges(), live_model);
+      for (const Side side : {Side::kLeft, Side::kRight}) {
+        const int s = static_cast<int>(side);
+        EXPECT_EQ(scratch.NumAlive(side), alive[s].size());
+        for (VertexId v = 0; v < g.NumVertices(side); ++v) {
+          EXPECT_EQ(scratch.Alive(side, v), alive[s].count(v) != 0);
+          if (alive[s].count(v) == 0) continue;
+          std::vector<VertexId> expected;
+          for (const VertexId w : GraphNeighbors(g, side, v)) {
+            const auto key = side == Side::kLeft ? std::pair{v, w}
+                                                 : std::pair{w, v};
+            if (edges.count(key) != 0 && alive[1 - s].count(w) != 0) {
+              expected.push_back(w);
+            }
+          }
+          EXPECT_EQ(ScratchNeighbors(scratch, side, v), expected);
+          EXPECT_EQ(scratch.Degree(side, v), expected.size());
+        }
+      }
+    };
+
+    // Interleave vertex and edge deletions, checking the full state after
+    // each batch.
+    for (int round = 0; round < 6; ++round) {
+      if (round % 2 == 0 && !edges.empty()) {
+        // Delete a random existing edge (possibly with a dead endpoint —
+        // DeleteEdge must handle both).
+        auto it = edges.begin();
+        std::advance(it, std::uniform_int_distribution<std::size_t>(
+                             0, edges.size() - 1)(rng));
+        const auto [l, r] = *it;
+        const bool was_live =
+            alive[0].count(l) != 0 && alive[1].count(r) != 0;
+        EXPECT_EQ(scratch.DeleteEdge(l, r), was_live);
+        edges.erase(it);
+        EXPECT_FALSE(scratch.DeleteEdge(l, r));  // already dead
+      } else {
+        const Side side = round % 4 < 2 ? Side::kLeft : Side::kRight;
+        const int s = static_cast<int>(side);
+        if (alive[s].empty()) continue;
+        auto it = alive[s].begin();
+        std::advance(it, std::uniform_int_distribution<std::size_t>(
+                             0, alive[s].size() - 1)(rng));
+        scratch.DeleteVertex(side, *it);
+        scratch.DeleteVertex(side, *it);  // no-op when already dead
+        alive[s].erase(it);
+      }
+      check();
+    }
+  }
+}
+
+TEST(CsrScratch, PeelToCoreMatchesCoreDecomposition) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BipartiteGraph g = RandomGraph(40, 40, 0.12, seed);
+    const CoreDecomposition cores = ComputeCores(g);
+    for (std::uint32_t k = 1; k <= cores.degeneracy + 1; ++k) {
+      CsrScratch scratch;
+      scratch.Load(g);
+      const PeelStats peel = scratch.PeelToCore(k);
+      const KCoreVertices expected = KCore(cores, g, k);
+      EXPECT_EQ(scratch.LiveOldIds(Side::kLeft), expected.left)
+          << "seed=" << seed << " k=" << k;
+      EXPECT_EQ(scratch.LiveOldIds(Side::kRight), expected.right);
+      EXPECT_EQ(peel.vertices_removed,
+                (g.num_left() + g.num_right()) -
+                    (expected.left.size() + expected.right.size()));
+      EXPECT_EQ(peel.edges_removed, g.num_edges() - scratch.num_live_edges());
+      // Every survivor really has live degree >= k.
+      for (const Side side : {Side::kLeft, Side::kRight}) {
+        for (VertexId v = 0; v < scratch.NumVertices(side); ++v) {
+          if (scratch.Alive(side, v)) EXPECT_GE(scratch.Degree(side, v), k);
+        }
+      }
+    }
+  }
+}
+
+TEST(CsrScratch, CompactAfterPeelMatchesInduce) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const BipartiteGraph g = RandomGraph(30, 30, 0.2, seed);
+    CsrScratch scratch;
+    scratch.Load(g);
+    scratch.PeelToCore(2);
+    const InducedSubgraph compacted = scratch.Compact();
+    const InducedSubgraph reference = g.Induce(
+        scratch.LiveOldIds(Side::kLeft), scratch.LiveOldIds(Side::kRight));
+    ExpectSameGraph(compacted.graph, reference.graph);
+    EXPECT_EQ(compacted.left_to_old, reference.left_to_old);
+    EXPECT_EQ(compacted.right_to_old, reference.right_to_old);
+  }
+}
+
+TEST(CsrInduce, BitIdenticalToInduce) {
+  std::mt19937 rng(23);
+  CsrScratch scratch;  // reused across every call, as in the scans
+  for (std::uint64_t seed = 0; seed < 15; ++seed) {
+    const BipartiteGraph g = RandomGraph(25, 40, 0.2, seed);
+    const std::vector<VertexId> left_keep = RandomKeepList(25, 0.5, rng);
+    const std::vector<VertexId> right_keep = RandomKeepList(40, 0.5, rng);
+    const InducedSubgraph sparse =
+        CsrInduce(g, left_keep, right_keep, scratch);
+    const InducedSubgraph dense = g.Induce(left_keep, right_keep);
+    ExpectSameGraph(sparse.graph, dense.graph);
+    EXPECT_EQ(sparse.left_to_old, dense.left_to_old);
+    EXPECT_EQ(sparse.right_to_old, dense.right_to_old);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FromEdges endpoint validation (release builds included).
+// ---------------------------------------------------------------------------
+
+TEST(FromEdgesValidation, OutOfRangeEndpointThrows) {
+  EXPECT_THROW(BipartiteGraph::FromEdges(4, 6, {{0, 0}, {4, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(BipartiteGraph::FromEdges(4, 6, {{0, 0}, {3, 6}}),
+               std::invalid_argument);
+}
+
+TEST(FromEdgesValidation, TryFromEdgesReportsStructuredError) {
+  BipartiteGraph g;
+  std::string error;
+  EXPECT_FALSE(BipartiteGraph::TryFromEdges(4, 6, {{0, 0}, {1, 12}}, &g,
+                                            &error));
+  EXPECT_NE(error.find("edge 1"), std::string::npos) << error;
+  EXPECT_NE(error.find("right id 12"), std::string::npos) << error;
+  EXPECT_NE(error.find("[0, 6)"), std::string::npos) << error;
+
+  error.clear();
+  EXPECT_TRUE(BipartiteGraph::TryFromEdges(4, 6, {{0, 0}, {3, 5}}, &g,
+                                           &error));
+  EXPECT_TRUE(error.empty());
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse-vs-dense reduction parity: identical results with the CSR path on
+// and off, for every registered solver.
+// ---------------------------------------------------------------------------
+
+void ExpectParity(const BipartiteGraph& g, const std::string& name) {
+  SolverOptions sparse;
+  sparse.sparse_reduction = true;
+  SolverOptions dense;
+  dense.sparse_reduction = false;
+  const MbbResult a = SolverRegistry::Solve(name, g, sparse);
+  const MbbResult b = SolverRegistry::Solve(name, g, dense);
+  EXPECT_EQ(a.best.BalancedSize(), b.best.BalancedSize())
+      << name << ": size diverged";
+  EXPECT_EQ(a.best.left, b.best.left) << name << ": witness diverged";
+  EXPECT_EQ(a.best.right, b.best.right) << name << ": witness diverged";
+  EXPECT_EQ(a.exact, b.exact) << name;
+  // The reduction accounting must be representation-independent too.
+  EXPECT_EQ(a.stats.step1_vertices_removed, b.stats.step1_vertices_removed)
+      << name;
+  EXPECT_EQ(a.stats.step1_edges_removed, b.stats.step1_edges_removed)
+      << name;
+  EXPECT_EQ(a.stats.core_reduction_vertices_removed,
+            b.stats.core_reduction_vertices_removed)
+      << name;
+  EXPECT_EQ(b.stats.sparse_to_dense_switches, 0u) << name;
+}
+
+TEST(SparseDenseParity, PaperExampleAllSolvers) {
+  const BipartiteGraph g = PaperExampleGraph();
+  for (const std::string& name : SolverRegistry::Instance().Names()) {
+    ExpectParity(g, name);
+  }
+}
+
+TEST(SparseDenseParity, RandomGraphsAllSolvers) {
+  const std::vector<std::string> names = SolverRegistry::Instance().Names();
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    // Vary shape and density across the 30 instances.
+    const std::uint32_t nl = 12 + static_cast<std::uint32_t>(seed % 5) * 2;
+    const std::uint32_t nr = 12 + static_cast<std::uint32_t>(seed % 3) * 3;
+    const double density = 0.08 + 0.02 * static_cast<double>(seed % 8);
+    const BipartiteGraph g = RandomGraph(nl, nr, density, seed);
+    for (const std::string& name : names) {
+      ExpectParity(g, name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbb
