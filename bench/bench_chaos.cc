@@ -1,0 +1,262 @@
+/// Chaos harness for the serving layer: runs randomized fault schedules
+/// against an in-process `serve::Server` and asserts the robustness
+/// invariants the fault-injection layer exists to protect:
+///
+///   1. no crash — every iteration survives its schedule;
+///   2. no wrong exact answer — a response claiming `exact` matches a
+///      fault-free reference solve, and its witness is a real biclique;
+///   3. no leaked job — every accepted request is answered exactly once;
+///   4. the pool stays alive — the server keeps answering after faults.
+///
+///   bench_chaos --iterations 200 --seed 1
+///   bench_chaos --iterations 40 --seed 7          # the CI smoke leg
+///
+/// Schedules are a pure function of --seed, so a failing run replays
+/// exactly; the failing iteration's fault spec is printed for use with
+/// MBB_FAULT_SPEC / --fault-spec reproduction.
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <iterator>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "engine/degrade.h"
+#include "engine/faults.h"
+#include "engine/registry.h"
+#include "graph/generators.h"
+#include "serve/server.h"
+
+namespace {
+
+namespace faults = mbb::faults;
+
+using mbb::BipartiteGraph;
+using mbb::serve::Request;
+using mbb::serve::Response;
+using mbb::serve::Server;
+using mbb::serve::ServerOptions;
+
+struct ChaosOptions {
+  int iterations = 200;
+  std::uint64_t seed = 1;
+  int requests = 6;
+  bool verbose = false;
+};
+
+/// One pending request of an iteration: what was sent, what is expected,
+/// and the exactly-once delivery record.
+struct Probe {
+  Request request;
+  std::uint32_t reference_size = 0;
+  bool submitted = false;
+  std::atomic<int> answers{0};
+  Response response;  // valid once answers > 0
+};
+
+std::string RandomFaultSpec(std::mt19937_64& rng) {
+  // Only in-process points: the net.* points belong to the socket
+  // transport, which this harness does not drive (tests/test_faults.cc
+  // covers them).
+  static const char* kPoints[] = {
+      "alloc.bit_matrix", "alloc.search_context", "alloc.csr",
+      "worker.task",      "cache.insert",         "serve.worker_stall",
+  };
+  std::string spec = "seed=" + std::to_string(rng());
+  const int armed = 1 + static_cast<int>(rng() % 3);
+  std::vector<int> picks;
+  while (static_cast<int>(picks.size()) < armed) {
+    const int pick = static_cast<int>(rng() % std::size(kPoints));
+    bool duplicate = false;
+    for (const int seen : picks) duplicate |= seen == pick;
+    if (!duplicate) picks.push_back(pick);
+  }
+  for (const int pick : picks) {
+    spec += ";";
+    spec += kPoints[pick];
+    switch (rng() % 3) {
+      case 0:
+        spec += ":p=0." + std::to_string(1 + rng() % 3);  // 0.1 .. 0.3
+        break;
+      case 1:
+        spec += ":nth=" + std::to_string(1 + rng() % 4);
+        break;
+      default:
+        spec += ":every=" + std::to_string(2 + rng() % 4);
+        break;
+    }
+    if (std::string(kPoints[pick]) == "serve.worker_stall") {
+      spec += ",ms=" + std::to_string(10 + rng() % 30);
+    }
+  }
+  return spec;
+}
+
+bool WitnessIsValid(const Response& response, const BipartiteGraph& g) {
+  if (response.size == 0) return true;  // empty answers carry no witness
+  mbb::Biclique witness;
+  witness.left = response.left;
+  witness.right = response.right;
+  return witness.BalancedSize() >= response.size && witness.IsBicliqueIn(g);
+}
+
+/// Runs one fault schedule; returns false (after printing the violation)
+/// when any invariant breaks.
+bool RunIteration(const ChaosOptions& options, int iteration,
+                  std::uint64_t* degraded_total, std::uint64_t* error_total) {
+  std::mt19937_64 rng(options.seed * 0x9e3779b97f4a7c15ULL +
+                      static_cast<std::uint64_t>(iteration));
+  const std::string spec = RandomFaultSpec(rng);
+
+  const auto violation = [&](const std::string& what) {
+    std::cerr << "CHAOS VIOLATION (iteration " << iteration << ", spec \""
+              << spec << "\"): " << what << "\n";
+    return false;
+  };
+
+  // Build the graphs and their fault-free reference answers before arming
+  // the schedule, so the oracle cannot itself be corrupted.
+  std::vector<Probe> probes(options.requests);
+  for (int i = 0; i < options.requests; ++i) {
+    Probe& probe = probes[i];
+    const auto nl = static_cast<std::uint32_t>(8 + rng() % 25);
+    const auto nr = static_cast<std::uint32_t>(8 + rng() % 25);
+    const double density = 0.2 + 0.1 * static_cast<double>(rng() % 7);
+    probe.request.graph = mbb::RandomUniform(nl, nr, density, rng());
+    probe.request.id = "chaos-" + std::to_string(iteration) + "-" +
+                       std::to_string(i);
+    static const char* kAlgos[] = {"auto", "dense", "hbv"};
+    probe.request.algo = kAlgos[rng() % std::size(kAlgos)];
+    if (rng() % 4 == 0) {
+      probe.request.deadline_ms = 5 + static_cast<double>(rng() % 40);
+    }
+    if (rng() % 5 == 0) probe.request.budget_mb = 1;
+    // Two solver threads route the parallel phases through ParallelFor /
+    // the steal scheduler, where the worker.task sites live.
+    if (rng() % 3 == 0) probe.request.threads = 2;
+    const mbb::MbbResult reference =
+        mbb::SolverRegistry::Solve("auto", probe.request.graph);
+    probe.reference_size = reference.best.BalancedSize();
+  }
+
+  ServerOptions server_options;
+  server_options.num_workers = 2;
+  server_options.cache_capacity = 8;
+  server_options.watchdog_poll_ms = 5;
+  server_options.watchdog_stall_ms = 60;
+  server_options.fault_spec = spec;
+  switch (rng() % 3) {
+    case 0: server_options.memory_budget_bytes = 1u << 16; break;
+    case 1: server_options.memory_budget_bytes = 1u << 22; break;
+    default: break;  // unlimited
+  }
+
+  {
+    Server server(server_options);
+    std::mutex response_mutex;
+    for (Probe& probe : probes) {
+      try {
+        Request copy = probe.request;
+        server.Submit(std::move(copy), [&](const Response& response) {
+          {
+            std::lock_guard<std::mutex> lock(response_mutex);
+            probe.response = response;
+          }
+          probe.answers.fetch_add(1);
+        });
+        probe.submitted = true;
+      } catch (const std::exception& e) {
+        return violation(std::string("Submit threw: ") + e.what());
+      }
+      if (rng() % 4 == 0) server.Cancel(probe.request.id);
+    }
+    server.Drain();
+    server.Shutdown();
+  }
+  faults::Reset();
+
+  for (const Probe& probe : probes) {
+    if (!probe.submitted) continue;
+    const int answers = probe.answers.load();
+    if (answers != 1) {
+      return violation("request " + probe.request.id + " answered " +
+                       std::to_string(answers) + " times (want exactly 1)");
+    }
+    const Response& response = probe.response;
+    if (!response.ok) {
+      ++*error_total;  // structured errors (solver fault, watchdog) are fine
+      continue;
+    }
+    if (response.degraded || !response.stop_cause.empty() ||
+        !response.exact) {
+      ++*degraded_total;
+    }
+    if (!WitnessIsValid(response, probe.request.graph)) {
+      return violation("request " + probe.request.id +
+                       " returned an invalid witness");
+    }
+    if (response.exact && response.size != probe.reference_size) {
+      return violation("request " + probe.request.id + " claimed exact size " +
+                       std::to_string(response.size) + ", reference is " +
+                       std::to_string(probe.reference_size));
+    }
+  }
+  if (options.verbose) {
+    std::cout << "iteration " << iteration << " ok (spec \"" << spec
+              << "\")\n";
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ChaosOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next_int = [&](long long min_value) -> long long {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      const long long value = std::atoll(argv[++i]);
+      if (value < min_value) {
+        std::cerr << arg << " must be >= " << min_value << "\n";
+        std::exit(2);
+      }
+      return value;
+    };
+    if (arg == "--iterations") {
+      options.iterations = static_cast<int>(next_int(1));
+    } else if (arg == "--seed") {
+      options.seed = static_cast<std::uint64_t>(next_int(0));
+    } else if (arg == "--requests") {
+      options.requests = static_cast<int>(next_int(1));
+    } else if (arg == "--verbose") {
+      options.verbose = true;
+    } else {
+      std::cerr << "usage: bench_chaos [--iterations N] [--seed S] "
+                   "[--requests R] [--verbose]\n";
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  std::uint64_t degraded_total = 0;
+  std::uint64_t error_total = 0;
+  for (int iteration = 0; iteration < options.iterations; ++iteration) {
+    if (!RunIteration(options, iteration, &degraded_total, &error_total)) {
+      faults::Reset();
+      return 1;
+    }
+  }
+  std::cout << "chaos: " << options.iterations << " iterations x "
+            << options.requests << " requests survived (seed "
+            << options.seed << "); " << degraded_total
+            << " degraded answers, " << error_total
+            << " structured errors, 0 violations\n";
+  return 0;
+}

@@ -15,8 +15,11 @@
 #include <iostream>
 #include <string>
 
+#include "engine/degrade.h"
+#include "engine/faults.h"
 #include "eval/experiment.h"
 #include "mbb.h"
+#include "serve/protocol.h"
 
 namespace {
 
@@ -47,6 +50,15 @@ void Usage() {
       "                              on the CSR substrate (default on;\n"
       "                              off = legacy per-phase rebuilds,\n"
       "                              results identical either way)\n"
+      "  --memory-budget-mb N        per-solve arena byte budget in MiB;\n"
+      "                              exceeding it returns the best\n"
+      "                              incumbent found so far (exact: no)\n"
+      "                              instead of aborting (default\n"
+      "                              unlimited)\n"
+      "  --fault-spec SPEC           arm the deterministic fault-injection\n"
+      "                              layer, e.g.\n"
+      "                              'seed=7;alloc.bit_matrix:nth=1'\n"
+      "                              (see docs/ARCHITECTURE.md)\n"
       "  --stats                     print search statistics\n"
       "  --list                      list dataset names and exit\n"
       "  --list-algos                list registered solvers and exit\n";
@@ -62,7 +74,8 @@ std::string CanonicalAlgoName(std::string name) {
 MbbResult Solve(const std::string& algorithm, const BipartiteGraph& g,
                 double timeout, std::uint32_t threads,
                 std::uint32_t spawn_depth, bool deterministic,
-                bool sparse_reduction) {
+                bool sparse_reduction, std::uint64_t memory_budget_mb,
+                const std::string& fault_spec) {
   if (algorithm == "mvb") {
     MbbResult r;
     r.best = MaximumVertexBiclique(g);
@@ -73,7 +86,11 @@ MbbResult Solve(const std::string& algorithm, const BipartiteGraph& g,
   options.spawn_depth = spawn_depth;
   options.deterministic = deterministic;
   options.sparse_reduction = sparse_reduction;
-  return SolverRegistry::Solve(algorithm, g, options);
+  options.memory_budget_bytes = memory_budget_mb << 20;
+  options.fault_spec = fault_spec;
+  // Anytime wrapper: a tripped budget (or injected allocation fault)
+  // degrades to the best incumbent instead of crashing the process.
+  return SolveAnytime(algorithm, g, options);
 }
 
 }  // namespace
@@ -93,6 +110,8 @@ int main(int argc, char** argv) {
   std::uint32_t spawn_depth = 0;
   bool deterministic = false;
   bool sparse_reduction = true;
+  std::uint64_t memory_budget_mb = 0;
+  std::string fault_spec;
   bool stats = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -160,6 +179,36 @@ int main(int argc, char** argv) {
           }
           threads = static_cast<std::uint32_t>(parsed);
         }
+      }
+    } else if (arg == "--memory-budget-mb") {
+      const std::string value = next_value();
+      if (!missing_value) {
+        // Same guard rails as --threads: reject junk and non-positive
+        // sizes instead of letting stol wrap them into surprises.
+        long parsed = 0;
+        try {
+          parsed = std::stol(value);
+        } catch (const std::exception&) {
+          std::cerr << "--memory-budget-mb expects a positive integer, got '"
+                    << value << "'\n";
+          return 1;
+        }
+        if (parsed <= 0) {
+          std::cerr << "--memory-budget-mb must be >= 1 (got " << value
+                    << "); omit the flag for an unlimited budget\n";
+          return 1;
+        }
+        memory_budget_mb = static_cast<std::uint64_t>(parsed);
+      }
+    } else if (arg == "--fault-spec") {
+      const std::string value = next_value();
+      if (!missing_value) {
+        std::string spec_error;
+        if (!faults::Configure(value, &spec_error)) {
+          std::cerr << "--fault-spec: " << spec_error << "\n";
+          return 1;
+        }
+        fault_spec = value;
       }
     } else if (arg == "--spawn-depth") {
       const std::string value = next_value();
@@ -238,7 +287,8 @@ int main(int argc, char** argv) {
 
   WallTimer timer;
   const MbbResult result = Solve(algorithm, g, timeout, threads, spawn_depth,
-                                 deterministic, sparse_reduction);
+                                 deterministic, sparse_reduction,
+                                 memory_budget_mb, fault_spec);
   const double seconds = timer.Seconds();
 
   std::cout << "algorithm: " << algorithm << "\n"
@@ -248,6 +298,15 @@ int main(int argc, char** argv) {
             << "valid: " << (result.best.IsBicliqueIn(g) ? "yes" : "NO")
             << ", exact: " << (result.exact ? "yes" : "no")
             << ", time: " << seconds << "s\n";
+  const std::string stop_cause = serve::StopCauseName(result.stats.stop_cause);
+  if (!stop_cause.empty()) {
+    std::cout << "stop cause: " << stop_cause
+              << (result.exact ? "" : " (degraded: best incumbent)") << "\n";
+  }
+  if (result.stats.arena_bytes_peak > 0) {
+    std::cout << "arena peak: " << result.stats.arena_bytes_peak
+              << " bytes (budget " << (memory_budget_mb << 20) << ")\n";
+  }
 
   if (stats) {
     const SearchStats& s = result.stats;

@@ -14,6 +14,7 @@
 #include <iostream>
 #include <string>
 
+#include "engine/faults.h"
 #include "serve/net.h"
 #include "serve/server.h"
 
@@ -36,7 +37,17 @@ void Usage() {
       "  --deadline-ms MS            default per-query deadline (default\n"
       "                              0 = unlimited)\n"
       "  --starvation-ms MS          SJF starvation bound (default 500)\n"
-      "  --threads N                 default solver threads per query\n";
+      "  --threads N                 default solver threads per query\n"
+      "  --memory-budget-mb N        default per-solve arena budget in MiB\n"
+      "                              (default 0 = unlimited; requests may\n"
+      "                              override with 'budget_mb')\n"
+      "  --watchdog-stall-ms MS      hard-abandon a job whose worker stops\n"
+      "                              observing its stop token for this\n"
+      "                              long (default 500, 0 disables the\n"
+      "                              watchdog)\n"
+      "  --watchdog-poll-ms MS       watchdog scan interval (default 20)\n"
+      "  --fault-spec SPEC           arm the deterministic fault-injection\n"
+      "                              layer (see docs/ARCHITECTURE.md)\n";
 }
 
 bool ParseUint(const char* text, std::uint64_t* out) {
@@ -87,6 +98,19 @@ int main(int argc, char** argv) {
       options.starvation_ms = static_cast<double>(value);
     } else if (arg == "--threads" && next_uint(&value)) {
       options.default_threads = static_cast<std::uint32_t>(value);
+    } else if (arg == "--memory-budget-mb" && next_uint(&value)) {
+      options.memory_budget_bytes = value << 20;
+    } else if (arg == "--watchdog-stall-ms" && next_uint(&value)) {
+      options.watchdog_stall_ms = static_cast<double>(value);
+    } else if (arg == "--watchdog-poll-ms" && next_uint(&value) && value > 0) {
+      options.watchdog_poll_ms = static_cast<double>(value);
+    } else if (arg == "--fault-spec" && i + 1 < argc) {
+      std::string spec_error;
+      if (!mbb::faults::Configure(argv[++i], &spec_error)) {
+        std::cerr << "--fault-spec: " << spec_error << "\n";
+        return 2;
+      }
+      options.fault_spec = argv[i];
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;

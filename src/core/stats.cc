@@ -26,6 +26,7 @@ void SearchStats::Merge(const SearchStats& other) {
   step1_edges_removed += other.step1_edges_removed;
   core_reduction_vertices_removed += other.core_reduction_vertices_removed;
   sparse_to_dense_switches += other.sparse_to_dense_switches;
+  arena_bytes_peak = std::max(arena_bytes_peak, other.arena_bytes_peak);
   terminated_step = std::max(terminated_step, other.terminated_step);
   timed_out = timed_out || other.timed_out;
   if (stop_cause == StopCause::kNone) stop_cause = other.stop_cause;

@@ -20,6 +20,9 @@ enum class StopCause : std::uint8_t {
   /// A shared stop token was tripped by another party (a sibling worker,
   /// a watcher thread, or an external cancellation).
   kExternal = 3,
+  /// A per-solve memory budget refused an allocation (or a real
+  /// `bad_alloc` surfaced) and the solve unwound to its best incumbent.
+  kResourceExhausted = 4,
 };
 
 /// Race-safe cancellation flag shared by concurrent searchers. One party
@@ -50,9 +53,20 @@ class StopToken {
     return static_cast<StopCause>(cause_.load(std::memory_order_relaxed));
   }
 
+  /// Heartbeat stamped by `SearchLimits::CheckStop` at each poll boundary.
+  /// A watchdog that sees the token tripped but wants to distinguish "the
+  /// solver is unwinding" from "the solver stopped observing its token"
+  /// reads this counter: advancing polls mean the solver is still alive in
+  /// instrumented code.
+  void Touch() { polls_.fetch_add(1, std::memory_order_relaxed); }
+  std::uint64_t polls() const {
+    return polls_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint8_t> cause_{0};
+  std::atomic<std::uint64_t> polls_{0};
 };
 
 /// Monotone atomic balanced-size bound shared by concurrent searchers: a
@@ -135,10 +149,16 @@ struct SearchLimits {
       const StopCause cause = stop_token->cause();
       return cause == StopCause::kNone ? StopCause::kExternal : cause;
     }
-    if (has_deadline && (recursions & (kDeadlinePollInterval - 1)) == 1 &&
-        DeadlinePassed()) {
-      if (stop_token != nullptr) stop_token->RequestStop(StopCause::kDeadline);
-      return StopCause::kDeadline;
+    if ((recursions & (kDeadlinePollInterval - 1)) == 1) {
+      // Poll boundary: stamp the watchdog heartbeat even without a
+      // deadline, then do the (comparatively costly) clock read.
+      if (stop_token != nullptr) stop_token->Touch();
+      if (has_deadline && DeadlinePassed()) {
+        if (stop_token != nullptr) {
+          stop_token->RequestStop(StopCause::kDeadline);
+        }
+        return StopCause::kDeadline;
+      }
     }
     return StopCause::kNone;
   }
@@ -202,6 +222,11 @@ struct SearchStats {
   /// Which step of Algorithm 4 produced + certified the final answer
   /// (1 = heuristic/reduction, 2 = bridge, 3 = verification); 0 = n/a.
   int terminated_step = 0;
+
+  /// Peak bytes charged against the solve's memory budget (0 when the
+  /// solve ran unbudgeted). Merged by max: concurrent shards share one
+  /// budget, so the peak is a property of the whole solve.
+  std::uint64_t arena_bytes_peak = 0;
 
   bool timed_out = false;
   /// The first limit that fired (kNone when none did); distinguishes a

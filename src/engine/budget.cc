@@ -1,0 +1,70 @@
+#include "engine/budget.h"
+
+#include <cstdio>
+
+namespace mbb {
+namespace {
+
+thread_local std::shared_ptr<MemoryBudget> t_current_budget;
+
+std::string HumanBytes(std::uint64_t bytes) {
+  char buffer[32];
+  if (bytes >= (1ULL << 20)) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fMiB",
+                  static_cast<double>(bytes) / (1 << 20));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buffer;
+}
+
+}  // namespace
+
+ResourceExhaustedError::ResourceExhaustedError(std::uint64_t requested_bytes,
+                                               std::uint64_t used_bytes,
+                                               std::uint64_t limit_bytes)
+    : requested_bytes_(requested_bytes),
+      used_bytes_(used_bytes),
+      limit_bytes_(limit_bytes) {
+  message_ = "memory budget exhausted: requested " +
+             HumanBytes(requested_bytes) + " with " + HumanBytes(used_bytes) +
+             " of " + HumanBytes(limit_bytes) + " in use";
+}
+
+void MemoryBudget::Charge(std::uint64_t bytes) {
+  std::uint64_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const std::uint64_t next = used + bytes;
+    if (next > limit_ || next < used) {  // overflow counts as exhaustion
+      exhausted_.store(true, std::memory_order_relaxed);
+      throw ResourceExhaustedError(bytes, used, limit_);
+    }
+    if (used_.compare_exchange_weak(used, next, std::memory_order_relaxed)) {
+      std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+      while (next > peak && !peak_.compare_exchange_weak(
+                                peak, next, std::memory_order_relaxed)) {
+      }
+      return;
+    }
+  }
+}
+
+void MemoryBudget::Release(std::uint64_t bytes) noexcept {
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::shared_ptr<MemoryBudget> MemoryBudget::Current() {
+  return t_current_budget;
+}
+
+MemoryBudgetScope::MemoryBudgetScope(std::shared_ptr<MemoryBudget> budget)
+    : previous_(std::move(t_current_budget)) {
+  t_current_budget = std::move(budget);
+}
+
+MemoryBudgetScope::~MemoryBudgetScope() {
+  t_current_budget = std::move(previous_);
+}
+
+}  // namespace mbb

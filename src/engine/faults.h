@@ -1,0 +1,94 @@
+#ifndef MBB_ENGINE_FAULTS_H_
+#define MBB_ENGINE_FAULTS_H_
+
+/// Deterministic, seed-driven fault injection for robustness testing.
+///
+/// A *fault point* is a named site in the code (see `kKnownPoints` in
+/// faults.cc) guarded by the `MBB_INJECT_FAULT(point, action)` macro. At
+/// runtime a *fault spec* arms a subset of points with a trigger rule:
+///
+///   spec    := entry (';' entry)*
+///   entry   := "seed=" UINT | point ':' param (',' param)*
+///   param   := "p=" FLOAT      fire each hit with probability p
+///            | "nth=" UINT     fire exactly on the nth hit (1-based)
+///            | "every=" UINT   fire every kth hit
+///            | "ms=" UINT      stall duration for stall points
+///            | "count=" UINT   stop firing after this many fires
+///
+/// Example: "seed=42;alloc.bit_matrix:p=0.05;serve.worker_stall:nth=3,ms=200"
+///
+/// Firing decisions are a pure function of (seed, point, hit index), so a
+/// schedule replays bit-identically for a given spec — probabilistic
+/// triggers included. Configuration comes from the `MBB_FAULT_SPEC`
+/// environment variable, `mbb_cli --fault-spec`, `mbb_serve --fault-spec`,
+/// or `SolverOptions::fault_spec`; all routes feed `Configure()`, which is
+/// process-global.
+///
+/// When nothing is armed the macro costs one relaxed atomic load.
+/// Compiling with -DMBB_NO_FAULT_INJECTION removes the sites entirely.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mbb::faults {
+
+/// Parses and installs a fault spec, replacing the previous one. Returns
+/// false (and sets *error when non-null) on a malformed spec or an unknown
+/// point name; the previous configuration stays in place on failure.
+/// Re-applying the currently active spec is a no-op, so per-solve plumbing
+/// (`SolverOptions::fault_spec`) does not reset hit counters.
+bool Configure(const std::string& spec, std::string* error = nullptr);
+
+/// Disarms everything and clears all counters.
+void Reset();
+
+/// True when at least one point is armed and injection is not suspended.
+bool Armed();
+
+/// Hot-path gate: records a hit on `point` and returns true when its
+/// trigger rule fires. Unarmed points (and an unarmed registry) return
+/// false after a single relaxed atomic load.
+bool Triggered(const char* point);
+
+/// Like `Triggered`, but returns the configured stall duration in
+/// milliseconds on fire and 0 otherwise. For points whose action is "go
+/// quiet for a while" rather than "throw".
+std::uint64_t StallMs(const char* point);
+
+/// Hits / fires observed on a point since the last Configure/Reset.
+std::uint64_t HitCount(const std::string& point);
+std::uint64_t FireCount(const std::string& point);
+
+/// The spec currently armed ("" when disarmed).
+std::string ActiveSpec();
+
+/// Every point name compiled into the binary (for validation and --help).
+std::vector<std::string> KnownPoints();
+
+/// Suspends injection on this and every other thread while alive. Used by
+/// harnesses to compute fault-free reference answers mid-schedule.
+class ScopedSuspend {
+ public:
+  ScopedSuspend();
+  ~ScopedSuspend();
+  ScopedSuspend(const ScopedSuspend&) = delete;
+  ScopedSuspend& operator=(const ScopedSuspend&) = delete;
+};
+
+}  // namespace mbb::faults
+
+#if defined(MBB_NO_FAULT_INJECTION)
+#define MBB_INJECT_FAULT(point, action) \
+  do {                                  \
+  } while (0)
+#else
+#define MBB_INJECT_FAULT(point, action)      \
+  do {                                       \
+    if (::mbb::faults::Triggered(point)) {   \
+      action;                                \
+    }                                        \
+  } while (0)
+#endif
+
+#endif  // MBB_ENGINE_FAULTS_H_

@@ -3,8 +3,12 @@
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "engine/budget.h"
+#include "engine/faults.h"
 
 namespace mbb {
 
@@ -24,7 +28,11 @@ void ParallelFor(std::size_t num_threads, std::size_t num_items,
   if (num_items == 0) return;
   num_threads = EffectiveThreadCount(num_threads, num_items);
   if (num_threads <= 1) {
-    for (std::size_t item = 0; item < num_items; ++item) fn(0, item);
+    for (std::size_t item = 0; item < num_items; ++item) {
+      MBB_INJECT_FAULT("worker.task",
+                       throw std::runtime_error("injected fault: worker.task"));
+      fn(0, item);
+    }
     return;
   }
 
@@ -36,6 +44,9 @@ void ParallelFor(std::size_t num_threads, std::size_t num_items,
       while (true) {
         const std::size_t item = next.fetch_add(1, std::memory_order_relaxed);
         if (item >= num_items) return;
+        MBB_INJECT_FAULT(
+            "worker.task",
+            throw std::runtime_error("injected fault: worker.task"));
         fn(worker, item);
       }
     } catch (...) {
@@ -44,10 +55,16 @@ void ParallelFor(std::size_t num_threads, std::size_t num_items,
     }
   };
 
+  // The spawning thread's memory budget follows the work onto the pool:
+  // one solve, one meter, regardless of fan-out.
+  const std::shared_ptr<MemoryBudget> budget = MemoryBudget::Current();
   std::vector<std::thread> threads;
   threads.reserve(num_threads - 1);
   for (std::size_t worker = 1; worker < num_threads; ++worker) {
-    threads.emplace_back(work, worker);
+    threads.emplace_back([&work, worker, budget] {
+      const MemoryBudgetScope scope(budget);
+      work(worker);
+    });
   }
   work(0);  // the caller is worker 0
   for (std::thread& thread : threads) thread.join();
@@ -103,10 +120,14 @@ void StealScheduler::Run() {
   if (deques_.size() == 1) {
     WorkerLoop(0);
   } else {
+    const std::shared_ptr<MemoryBudget> budget = MemoryBudget::Current();
     std::vector<std::thread> threads;
     threads.reserve(deques_.size() - 1);
     for (std::size_t worker = 1; worker < deques_.size(); ++worker) {
-      threads.emplace_back([this, worker] { WorkerLoop(worker); });
+      threads.emplace_back([this, worker, budget] {
+        const MemoryBudgetScope scope(budget);
+        WorkerLoop(worker);
+      });
     }
     WorkerLoop(0);
     for (std::thread& thread : threads) thread.join();
@@ -159,6 +180,8 @@ bool StealScheduler::TrySteal(std::size_t thief, std::uint64_t& rng,
 
 void StealScheduler::Execute(std::size_t worker, Task& task) {
   try {
+    MBB_INJECT_FAULT("worker.task",
+                     throw std::runtime_error("injected fault: worker.task"));
     task(worker);
   } catch (...) {
     const std::lock_guard<std::mutex> lock(error_mutex_);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "engine/budget.h"
+#include "engine/faults.h"
+
 namespace mbb {
 
 namespace internal {
@@ -68,7 +71,25 @@ std::vector<std::string> SolverRegistry::Names() const {
 MbbResult SolverRegistry::Solve(std::string_view name,
                                 const BipartiteGraph& g,
                                 const SolverOptions& options) {
-  MbbResult result = Instance().Get(name).Solve(g, options);
+  if (!options.fault_spec.empty()) {
+    std::string error;
+    if (!faults::Configure(options.fault_spec, &error)) {
+      throw std::invalid_argument(error);
+    }
+  }
+  MbbResult result;
+  if (options.memory_budget_bytes > 0) {
+    // The budget scope covers exactly the dispatched solve; arenas that
+    // outlive it (pooled contexts) hold the budget shared, so their
+    // releases stay valid after the scope unwinds.
+    const auto budget =
+        std::make_shared<MemoryBudget>(options.memory_budget_bytes);
+    const MemoryBudgetScope scope(budget);
+    result = Instance().Get(name).Solve(g, options);
+    result.stats.arena_bytes_peak = budget->peak();
+  } else {
+    result = Instance().Get(name).Solve(g, options);
+  }
   if (options.stats_sink != nullptr) {
     options.stats_sink->Merge(result.stats);
   }

@@ -1,5 +1,9 @@
 #include "engine/search_context.h"
 
+#include <new>
+
+#include "engine/faults.h"
+
 namespace mbb {
 
 void SearchContext::PrepareFrames(std::size_t max_bits) {
@@ -16,6 +20,7 @@ void SearchContext::AddFrame() {
   const std::size_t level = frames_.size();
   const std::size_t slab = level / kLevelsPerSlab;
   if (slab >= slabs_.size()) {
+    MBB_INJECT_FAULT("alloc.search_context", throw std::bad_alloc());
     slabs_.emplace_back(2 * kLevelsPerSlab, stride_words_ * 64);
   }
   const std::size_t row = 2 * (level % kLevelsPerSlab);

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "baselines/adapted.h"
@@ -82,6 +83,18 @@ struct SolverOptions {
   /// Density threshold of the `auto` solver (denseMBB at or above it,
   /// hbvMBB below).
   double dense_threshold = 0.8;
+  /// Per-solve memory byte budget, metered at the arena layer (`BitMatrix`
+  /// and `CsrScratch` charges; see engine/budget.h). 0 = unlimited.
+  /// `SolverRegistry::Solve` installs the budget around the solve and
+  /// records the peak in `SearchStats::arena_bytes_peak`; exceeding it
+  /// throws `ResourceExhaustedError`, which `SolveAnytime` (and the serve
+  /// layer) convert into a degraded `resource_exhausted` result.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Fault-injection spec applied (process-globally, idempotently) by
+  /// `SolverRegistry::Solve` before dispatch — the `SolverOptions` route
+  /// into `faults::Configure` next to the `MBB_FAULT_SPEC` env variable
+  /// and the CLI/server flags. Empty = leave the active spec alone.
+  std::string fault_spec;
 
   /// Per-algorithm knobs. The `limits` members inside these structs are
   /// ignored — adapters overwrite them from `Limits()`.

@@ -2,6 +2,10 @@
 
 #include <cstring>
 #include <new>
+#include <utility>
+
+#include "engine/budget.h"
+#include "engine/faults.h"
 
 namespace mbb {
 
@@ -13,16 +17,30 @@ std::uint64_t* AllocateWords(std::size_t words) {
       words * sizeof(std::uint64_t), std::align_val_t{BitMatrix::kAlignment}));
 }
 
+/// Charges the current thread's budget (if any) for `words` words and
+/// returns the budget that was charged, so the arena can release exactly
+/// what it charged even if the ambient budget changes later.
+std::shared_ptr<MemoryBudget> ChargeCurrentBudget(std::size_t words) {
+  if (words == 0) return nullptr;
+  std::shared_ptr<MemoryBudget> budget = MemoryBudget::Current();
+  if (budget != nullptr) budget->Charge(words * sizeof(std::uint64_t));
+  return budget;
+}
+
 }  // namespace
 
 BitMatrix::BitMatrix(std::size_t rows, std::size_t bits_per_row)
     : rows_(rows), bits_(bits_per_row), stride_(StrideWords(bits_per_row)) {
+  MBB_INJECT_FAULT("alloc.bit_matrix", throw std::bad_alloc());
+  budget_ = ChargeCurrentBudget(word_count());
   words_.reset(AllocateWords(word_count()));
   Clear();
 }
 
 BitMatrix::BitMatrix(const BitMatrix& other)
     : rows_(other.rows_), bits_(other.bits_), stride_(other.stride_) {
+  MBB_INJECT_FAULT("alloc.bit_matrix", throw std::bad_alloc());
+  budget_ = ChargeCurrentBudget(word_count());
   words_.reset(AllocateWords(word_count()));
   if (words_ != nullptr) {
     std::memcpy(words_.get(), other.words_.get(),
@@ -35,6 +53,40 @@ BitMatrix& BitMatrix::operator=(const BitMatrix& other) {
   BitMatrix copy(other);
   *this = std::move(copy);
   return *this;
+}
+
+BitMatrix::BitMatrix(BitMatrix&& other) noexcept
+    : words_(std::move(other.words_)),
+      rows_(other.rows_),
+      bits_(other.bits_),
+      stride_(other.stride_),
+      budget_(std::move(other.budget_)) {
+  // Zero the source's shape so its destructor releases nothing.
+  other.rows_ = 0;
+  other.bits_ = 0;
+  other.stride_ = 0;
+}
+
+BitMatrix& BitMatrix::operator=(BitMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  if (budget_ != nullptr) {
+    budget_->Release(word_count() * sizeof(std::uint64_t));
+  }
+  words_ = std::move(other.words_);
+  rows_ = other.rows_;
+  bits_ = other.bits_;
+  stride_ = other.stride_;
+  budget_ = std::move(other.budget_);
+  other.rows_ = 0;
+  other.bits_ = 0;
+  other.stride_ = 0;
+  return *this;
+}
+
+BitMatrix::~BitMatrix() {
+  if (budget_ != nullptr) {
+    budget_->Release(word_count() * sizeof(std::uint64_t));
+  }
 }
 
 void BitMatrix::Clear() {

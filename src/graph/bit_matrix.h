@@ -40,13 +40,17 @@ class BitMatrix {
 
   BitMatrix() = default;
 
-  /// Allocates `rows x bits_per_row`, all bits zero.
+  /// Allocates `rows x bits_per_row`, all bits zero. Charges the byte
+  /// count against the calling thread's `MemoryBudget` (when one is
+  /// installed) before allocating; the charge is released on destruction.
+  /// Throws `bad_alloc` / `ResourceExhaustedError` on failure.
   BitMatrix(std::size_t rows, std::size_t bits_per_row);
 
   BitMatrix(const BitMatrix& other);
   BitMatrix& operator=(const BitMatrix& other);
-  BitMatrix(BitMatrix&&) = default;
-  BitMatrix& operator=(BitMatrix&&) = default;
+  BitMatrix(BitMatrix&& other) noexcept;
+  BitMatrix& operator=(BitMatrix&& other) noexcept;
+  ~BitMatrix();
 
   std::size_t rows() const { return rows_; }
   std::size_t bits_per_row() const { return bits_; }
@@ -90,6 +94,10 @@ class BitMatrix {
   std::size_t rows_ = 0;
   std::size_t bits_ = 0;
   std::size_t stride_ = 0;
+  /// The budget this arena charged its bytes against, held shared because
+  /// pooled arenas (SearchContext slabs) routinely outlive the solve — and
+  /// its budget scope — that created them. Null when allocated unbudgeted.
+  std::shared_ptr<class MemoryBudget> budget_;
 };
 
 }  // namespace mbb

@@ -2,11 +2,39 @@
 
 #include <algorithm>
 #include <cassert>
+#include <new>
+
+#include "engine/budget.h"
+#include "engine/faults.h"
 
 namespace mbb {
 
+CsrScratch::~CsrScratch() {
+  if (budget_ != nullptr) budget_->Release(charged_bytes_);
+}
+
+void CsrScratch::RechargeBudget(std::uint64_t bytes) {
+  if (budget_ != nullptr) budget_->Release(charged_bytes_);
+  charged_bytes_ = 0;
+  budget_ = MemoryBudget::Current();
+  if (budget_ != nullptr) {
+    budget_->Charge(bytes);
+    charged_bytes_ = bytes;
+  }
+}
+
 void CsrScratch::Reset(std::uint32_t num_left, std::uint32_t num_right,
                        std::uint64_t num_edges_hint) {
+  MBB_INJECT_FAULT("alloc.csr", throw std::bad_alloc());
+  // Approximate footprint of the buffers reserved below: both sides hold
+  // the adjacency (ids + alive bytes) plus per-vertex arrays. Charged
+  // up front so a budgeted solve fails here, before the copies happen.
+  const std::uint64_t per_vertex =
+      sizeof(std::uint64_t) + sizeof(std::uint32_t) + sizeof(VertexId) + 1;
+  const std::uint64_t per_edge = sizeof(VertexId) + 1;
+  RechargeBudget(2 * num_edges_hint * per_edge +
+                 (static_cast<std::uint64_t>(num_left) + num_right) *
+                     per_vertex);
   const std::uint32_t n[2] = {num_left, num_right};
   for (int s = 0; s < 2; ++s) {
     offsets_[s].clear();

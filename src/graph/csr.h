@@ -2,6 +2,7 @@
 #define MBB_GRAPH_CSR_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -75,6 +76,13 @@ struct PeelStats {
 /// across a scan of many centred subgraphs.
 class CsrScratch {
  public:
+  CsrScratch() = default;
+  ~CsrScratch();
+  /// The scratch tracks its bytes against a `MemoryBudget`; copying would
+  /// double-release the charge, and nothing copies one anyway.
+  CsrScratch(const CsrScratch&) = delete;
+  CsrScratch& operator=(const CsrScratch&) = delete;
+
   /// Loads the whole of `g`. Old-id maps are the identity.
   void Load(const BipartiteGraph& g);
 
@@ -153,6 +161,11 @@ class CsrScratch {
   void Reset(std::uint32_t num_left, std::uint32_t num_right,
              std::uint64_t num_edges_hint);
   void BuildRightFromLeft();
+  /// Re-points the scratch at the calling thread's `MemoryBudget` and
+  /// charges `bytes` (approximate: the reserved buffer sizes), releasing
+  /// whatever the previous load charged. Throws `ResourceExhaustedError`
+  /// when the budget refuses.
+  void RechargeBudget(std::uint64_t bytes);
 
   // Per side (0 = left, 1 = right):
   std::vector<std::uint64_t> offsets_[2];
@@ -172,6 +185,12 @@ class CsrScratch {
 
   // PeelToCore scratch.
   std::vector<std::pair<std::uint8_t, VertexId>> peel_queue_;
+
+  // Memory-budget accounting (see engine/budget.h). Held shared so the
+  // release in the destructor stays valid even when the scratch outlives
+  // the solve's budget scope.
+  std::shared_ptr<class MemoryBudget> budget_;
+  std::uint64_t charged_bytes_ = 0;
 };
 
 /// Drop-in replacement for `BipartiteGraph::Induce` routed through a

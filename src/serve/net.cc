@@ -5,11 +5,16 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <istream>
 #include <memory>
 #include <ostream>
+#include <thread>
+
+#include "engine/faults.h"
 
 namespace mbb::serve {
 
@@ -19,28 +24,61 @@ std::string ErrnoString(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
 
-/// Writes `line` + '\n' fully, retrying short writes. Returns false on a
-/// closed peer.
-bool WriteLine(int fd, const std::string& line) {
+/// Writes `line` + '\n' fully, retrying short writes; transient failures
+/// (EAGAIN/ENOBUFS, or the injected `net.write.transient` fault) are
+/// retried a bounded number of times with capped exponential backoff, and
+/// each retry is tallied into `*retries_out`. Returns false on a closed
+/// peer or once the retry budget is spent.
+bool WriteLine(int fd, const std::string& line,
+               std::uint64_t* retries_out = nullptr) {
   std::string framed = line;
   framed.push_back('\n');
   std::size_t sent = 0;
+  int transient_budget = 5;
+  int backoff_ms = 1;
   while (sent < framed.size()) {
-    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent,
+    MBB_INJECT_FAULT("net.write.drop", return false);
+    bool injected_transient = false;
+    MBB_INJECT_FAULT("net.write.transient", injected_transient = true);
+    ssize_t n;
+    if (injected_transient) {
+      n = -1;
+      errno = EAGAIN;
+    } else {
+      n = ::send(fd, framed.data() + sent, framed.size() - sent,
 #ifdef MSG_NOSIGNAL
-                             MSG_NOSIGNAL
+                 MSG_NOSIGNAL
 #else
-                             0
+                 0
 #endif
-    );
+      );
+    }
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
+      const bool transient =
+          n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                    errno == ENOBUFS);
+      if (transient && transient_budget > 0) {
+        --transient_budget;
+        if (retries_out != nullptr) ++*retries_out;
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+        backoff_ms = std::min(backoff_ms * 2, 50);
+        continue;
+      }
       return false;
     }
     sent += static_cast<std::size_t>(n);
   }
   return true;
 }
+
+/// Shared between a connection's reader thread and the solve callbacks
+/// that outlive it: the write lock plus the liveness latch that makes
+/// disconnect accounting fire exactly once per connection.
+struct ConnectionState {
+  std::mutex write_mutex;
+  std::atomic<bool> alive{true};
+};
 
 }  // namespace
 
@@ -115,14 +153,47 @@ void SocketFrontEnd::AcceptLoop(int listen_fd) {
 }
 
 void SocketFrontEnd::ServeConnection(int fd) {
-  // Out-of-order completions write concurrently; one mutex per connection
-  // keeps response lines intact. Held in a shared_ptr because a callback
-  // of an in-flight solve may outlive this reader frame.
-  auto write_mutex = std::make_shared<std::mutex>();
+  // Out-of-order completions write concurrently; one state block per
+  // connection keeps response lines intact and disconnect accounting
+  // exactly-once. Held in a shared_ptr because a callback of an in-flight
+  // solve may outlive this reader frame.
+  auto state = std::make_shared<ConnectionState>();
+  Server& server = server_;
+  const auto respond = [fd, state, &server](const Response& response) {
+    if (!state->alive.load(std::memory_order_acquire)) {
+      // The peer already failed a write; its answer has nowhere to go.
+      server.NoteDroppedResponse();
+      return;
+    }
+    const std::string line = SerializeResponse(response);
+    std::uint64_t retries = 0;
+    bool ok;
+    {
+      std::lock_guard<std::mutex> lock(state->write_mutex);
+      ok = WriteLine(fd, line, &retries);
+    }
+    if (retries > 0) server.NoteWriteRetries(retries);
+    if (!ok) {
+      // First failed write wins the disconnect; later answers on this
+      // connection count as dropped (handled by the alive check above or
+      // the losing exchange here).
+      if (state->alive.exchange(false)) {
+        server.NoteClientDisconnect();
+      } else {
+        server.NoteDroppedResponse();
+      }
+    }
+  };
   std::string buffer;
   char chunk[4096];
   bool open = true;
   while (open && !stopping_.load(std::memory_order_acquire)) {
+    bool injected_disconnect = false;
+    MBB_INJECT_FAULT("net.read.disconnect", injected_disconnect = true);
+    if (injected_disconnect) {
+      if (state->alive.exchange(false)) server.NoteClientDisconnect();
+      break;
+    }
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;
@@ -134,11 +205,14 @@ void SocketFrontEnd::ServeConnection(int fd) {
       std::string line = buffer.substr(start, newline - start);
       start = newline + 1;
       if (line.empty()) continue;
-      const bool keep_going = server_.HandleLine(
-          line, [fd, write_mutex](const Response& response) {
-            std::lock_guard<std::mutex> lock(*write_mutex);
-            WriteLine(fd, SerializeResponse(response));
-          });
+      bool keep_going = true;
+      try {
+        keep_going = server_.HandleLine(line, respond);
+      } catch (const std::exception&) {
+        // Belt over HandleLine's own guard: nothing thrown by a single
+        // line may kill this reader — other clients keep their front end
+        // and this connection keeps draining.
+      }
       if (!keep_going) {
         open = false;
         // Shutdown command: take the whole front end down, not just this
@@ -202,16 +276,38 @@ void SocketFrontEnd::Stop() {
 }
 
 void ServeStdio(Server& server, std::istream& in, std::ostream& out) {
-  auto write_mutex = std::make_shared<std::mutex>();
+  auto state = std::make_shared<ConnectionState>();
+  const auto respond = [&out, state, &server](const Response& response) {
+    if (!state->alive.load(std::memory_order_acquire)) {
+      server.NoteDroppedResponse();
+      return;
+    }
+    bool injected_drop = false;
+    MBB_INJECT_FAULT("net.write.drop", injected_drop = true);
+    {
+      std::lock_guard<std::mutex> lock(state->write_mutex);
+      if (!injected_drop) {
+        out << SerializeResponse(response) << '\n';
+        out.flush();
+      }
+    }
+    if (injected_drop || !out.good()) {
+      if (state->alive.exchange(false)) {
+        server.NoteClientDisconnect();
+      } else {
+        server.NoteDroppedResponse();
+      }
+    }
+  };
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const bool keep_going =
-        server.HandleLine(line, [&out, write_mutex](const Response& response) {
-          std::lock_guard<std::mutex> lock(*write_mutex);
-          out << SerializeResponse(response) << '\n';
-          out.flush();
-        });
+    bool keep_going = true;
+    try {
+      keep_going = server.HandleLine(line, respond);
+    } catch (const std::exception&) {
+      // A poisoned line must not end the stdio session.
+    }
     if (!keep_going) break;
   }
   // Let queued work finish so every accepted request still gets its line

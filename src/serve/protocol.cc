@@ -223,6 +223,9 @@ bool ParseRequest(const Json& json, Request* out, std::string* error,
   value = 3;
   if (!GetUint(json, "k", 1u << 20, &value, error)) return false;
   out->top_k = static_cast<std::uint32_t>(value);
+  value = 0;
+  if (!GetUint(json, "budget_mb", 1u << 20, &value, error)) return false;
+  out->budget_mb = static_cast<std::uint32_t>(value);
   const Json* cache = json.Find("cache");
   if (cache != nullptr) {
     if (!cache->is_bool()) {
@@ -246,6 +249,11 @@ std::string SerializeResponse(const Response& response) {
   object.emplace("ok", Json(response.ok));
   if (!response.ok) {
     object.emplace("error", Json(response.error));
+    // Structured errors (watchdog abandons, shutdown rejections) carry
+    // their cause so clients can distinguish them from invalid requests.
+    if (!response.stop_cause.empty()) {
+      object.emplace("stop_cause", Json(response.stop_cause));
+    }
     return Json(std::move(object)).Dump();
   }
   if (response.has_payload) {
@@ -275,6 +283,7 @@ std::string SerializeResponse(const Response& response) {
       object.emplace("pool", Json(std::move(pool)));
     }
     object.emplace("exact", Json(response.exact));
+    if (response.degraded) object.emplace("degraded", Json(true));
     if (!response.stop_cause.empty()) {
       object.emplace("stop_cause", Json(response.stop_cause));
     }
@@ -293,6 +302,7 @@ std::string StopCauseName(StopCause cause) {
     case StopCause::kDeadline: return "deadline";
     case StopCause::kRecursionCap: return "recursion_cap";
     case StopCause::kExternal: return "external";
+    case StopCause::kResourceExhausted: return "resource_exhausted";
   }
   return "";
 }

@@ -31,6 +31,10 @@ struct Request {
   std::uint32_t size_a = 1;  // sizecon
   std::uint32_t size_b = 1;
   std::uint32_t top_k = 3;   // topk
+  /// Per-request memory budget in MiB (0 = the server default, which may
+  /// itself be unlimited). Metered at the arena layer; exceeding it yields
+  /// a degraded `resource_exhausted` response instead of an OOM kill.
+  std::uint32_t budget_mb = 0;
   bool use_cache = true;
 };
 
@@ -47,7 +51,13 @@ struct Response {
   std::vector<VertexId> right;
   std::vector<Biclique> pool;  // topk only
   bool exact = true;
-  std::string stop_cause;  // "", "deadline", "recursion_cap", "external"
+  /// "", "deadline", "recursion_cap", "external", "resource_exhausted",
+  /// or "watchdog" (the job was hard-abandoned).
+  std::string stop_cause;
+  /// True when the server substituted a fallback incumbent (budget
+  /// exhaustion, expired-in-queue) instead of letting the solver finish —
+  /// i.e. the answer is best-effort beyond the ordinary `exact:false`.
+  bool degraded = false;
   std::string cache;       // "hit", "warm", "miss", "bypass"
   double queue_ms = 0.0;
   double solve_ms = 0.0;

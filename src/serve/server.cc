@@ -3,8 +3,13 @@
 #include <algorithm>
 #include <exception>
 #include <future>
+#include <new>
+#include <stdexcept>
 #include <utility>
+#include <vector>
 
+#include "engine/degrade.h"
+#include "engine/faults.h"
 #include "engine/registry.h"
 #include "engine/search_context.h"
 #include "graph/canonical.h"
@@ -49,6 +54,12 @@ std::string AlgoClass(const Request& request, const MbbSolver& solver) {
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)), cache_(options_.cache_capacity) {
+  if (!options_.fault_spec.empty()) {
+    std::string error;
+    if (!faults::Configure(options_.fault_spec, &error)) {
+      throw std::invalid_argument(error);
+    }
+  }
   std::uint32_t workers = options_.num_workers;
   if (workers == 0) {
     workers = std::max(1u, std::thread::hardware_concurrency());
@@ -56,6 +67,9 @@ Server::Server(ServerOptions options)
   workers_.reserve(workers);
   for (std::uint32_t i = 0; i < workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  if (options_.watchdog_stall_ms > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
 }
 
@@ -180,6 +194,23 @@ bool Server::Cancel(const std::string& id) {
 }
 
 bool Server::HandleLine(const std::string& line, const Callback& respond) {
+  // A request must never take the transport down: anything the parse or
+  // dispatch throws (including injected allocation faults while
+  // materialising the graph) becomes a structured error response.
+  try {
+    return HandleLineUnguarded(line, respond);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.internal_errors;
+    }
+    respond(ErrorResponse("", std::string("internal error: ") + e.what()));
+    return true;
+  }
+}
+
+bool Server::HandleLineUnguarded(const std::string& line,
+                                 const Callback& respond) {
   Request request;
   std::string error;
   if (!ParseRequestLine(line, &request, &error, options_.limits)) {
@@ -236,6 +267,11 @@ void Server::Shutdown() {
   }
   cv_.notify_all();
   drain_cv_.notify_all();
+  watchdog_cv_.notify_all();
+  // Join the watchdog before touching `workers_`: it is the only other
+  // party that grows the pool (replacement spawns), so after this join the
+  // vector is stable for the loop below.
+  if (watchdog_.joinable()) watchdog_.join();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
@@ -257,12 +293,36 @@ std::size_t Server::QueueDepth() const {
   return queue_.size();
 }
 
+void Server::NoteClientDisconnect() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.client_disconnects;
+}
+
+void Server::NoteWriteRetries(std::uint64_t retries) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.write_retries += retries;
+}
+
+void Server::NoteDroppedResponse() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.dropped_responses;
+}
+
 Json Server::StatsPayload() const {
   const ServerCounters counters = Counters();
   const CacheStats cache = cache_.Stats();
   Json::Object payload;
-  payload.emplace("queue_depth", Json(std::uint64_t{QueueDepth()}));
-  payload.emplace("workers", Json(std::uint64_t{workers_.size()}));
+  std::size_t queue_depth = 0;
+  std::size_t num_workers = 0;
+  {
+    // One lock for both: the watchdog grows `workers_` under this mutex
+    // when it replaces a quarantined worker.
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_depth = queue_.size();
+    num_workers = workers_.size();
+  }
+  payload.emplace("queue_depth", Json(std::uint64_t{queue_depth}));
+  payload.emplace("workers", Json(std::uint64_t{num_workers}));
   payload.emplace("submitted", Json(counters.submitted));
   payload.emplace("solved", Json(counters.solved));
   payload.emplace("answered_from_cache", Json(counters.answered_from_cache));
@@ -271,6 +331,20 @@ Json Server::StatsPayload() const {
   payload.emplace("rejected_invalid", Json(counters.rejected_invalid));
   payload.emplace("cancelled", Json(counters.cancelled));
   payload.emplace("expired_in_queue", Json(counters.expired_in_queue));
+  Json::Object faults;
+  faults.emplace("resource_exhausted", Json(counters.resource_exhausted));
+  faults.emplace("degraded_answers", Json(counters.degraded_answers));
+  faults.emplace("solver_faults", Json(counters.solver_faults));
+  faults.emplace("cache_insert_failures",
+                 Json(counters.cache_insert_failures));
+  faults.emplace("internal_errors", Json(counters.internal_errors));
+  faults.emplace("watchdog_deadline_trips",
+                 Json(counters.watchdog_deadline_trips));
+  faults.emplace("watchdog_abandoned", Json(counters.watchdog_abandoned));
+  faults.emplace("client_disconnects", Json(counters.client_disconnects));
+  faults.emplace("write_retries", Json(counters.write_retries));
+  faults.emplace("dropped_responses", Json(counters.dropped_responses));
+  payload.emplace("faults", Json(std::move(faults)));
   Json::Object reduction;
   reduction.emplace("step1_vertices_removed",
                     Json(counters.step1_vertices_removed));
@@ -321,12 +395,76 @@ void Server::WorkerLoop() {
       job = PopLocked();
       ++running_;
     }
-    RunJob(std::move(job), &context);
+    const bool abandoned = RunJob(std::move(job), &context);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --running_;
     }
     drain_cv_.notify_all();
+    // The watchdog answered this job and spawned a replacement worker
+    // while we were quarantined; retire quietly to restore the pool size.
+    if (abandoned) return;
+  }
+}
+
+void Server::WatchdogLoop() {
+  const auto poll = std::chrono::duration<double, std::milli>(
+      std::max(1.0, options_.watchdog_poll_ms));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stopping_) {
+    watchdog_cv_.wait_for(lock, poll);
+    if (stopping_) return;
+    const Clock::time_point now = Clock::now();
+    std::vector<std::uint64_t> stalled;
+    for (auto& [serial, fly] : in_flight_) {
+      if (fly.token->StopRequested()) {
+        const std::uint64_t polls = fly.token->polls();
+        if (!fly.stop_observed || polls != fly.polls_at_stop) {
+          // First sighting of the trip, or the heartbeat advanced since —
+          // the solver is still observing its token (unwinding, returning
+          // its incumbent). (Re)start the stall window.
+          fly.stop_observed = true;
+          fly.stop_seen = now;
+          fly.polls_at_stop = polls;
+        } else if (MillisSince(fly.stop_seen, now) >=
+                   options_.watchdog_stall_ms) {
+          stalled.push_back(serial);
+        }
+      } else if (fly.has_deadline &&
+                 MillisSince(fly.deadline, now) >=
+                     options_.watchdog_stall_ms) {
+        // Deadline backstop: the solver overshot by a full stall window
+        // without its own poll catching it (stuck in non-polling code).
+        // Trip the token on its behalf and start the stall clock.
+        fly.token->RequestStop(StopCause::kDeadline);
+        ++counters_.watchdog_deadline_trips;
+        fly.stop_observed = true;
+        fly.stop_seen = now;
+        fly.polls_at_stop = fly.token->polls();
+      }
+    }
+    for (const std::uint64_t serial : stalled) {
+      const auto it = in_flight_.find(serial);
+      if (it == in_flight_.end()) continue;
+      InFlight fly = it->second;
+      if (fly.answered->exchange(true)) continue;  // worker won the race
+      in_flight_.erase(it);
+      ++counters_.watchdog_abandoned;
+      if (!fly.request_id.empty()) active_.erase(fly.request_id);
+      // Replace the quarantined worker so pool capacity survives; the
+      // zombie retires itself if it ever comes back (WorkerLoop checks
+      // RunJob's return). Spawning under the lock is safe — Shutdown joins
+      // this thread before it walks `workers_`.
+      if (!stopping_) workers_.emplace_back([this] { WorkerLoop(); });
+      Response response = ErrorResponse(
+          fly.request_id,
+          "watchdog: worker stopped observing its stop token; job "
+          "abandoned");
+      response.stop_cause = "watchdog";
+      lock.unlock();
+      fly.callback(response);
+      lock.lock();
+    }
   }
 }
 
@@ -351,18 +489,62 @@ Response Server::CancelledResponse(const Job& job, double queue_ms) const {
   return response;
 }
 
-void Server::RunJob(Job job, SearchContext* context) {
+bool Server::RunJob(Job job, SearchContext* context) {
   const Clock::time_point start = Clock::now();
   const double queue_ms = MillisSince(job.ingest, start);
 
+  // Register with the watchdog before anything that can stall or throw.
+  const auto answered = std::make_shared<std::atomic<bool>>(false);
+  std::uint64_t serial = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    serial = ++next_serial_;
+    InFlight fly;
+    fly.request_id = job.request.id;
+    fly.token = job.token;
+    fly.callback = job.callback;
+    fly.answered = answered;
+    fly.deadline = job.deadline;
+    fly.has_deadline = job.has_deadline;
+    in_flight_.emplace(serial, std::move(fly));
+  }
+
+  // Exactly-once delivery: whoever latches `answered` first — this worker
+  // or the watchdog — owns the callback. Returns true when the watchdog
+  // won, i.e. this worker was quarantined and must retire.
+  const auto deliver = [&](Response response) {
+    const bool abandoned = answered->exchange(true);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_.erase(serial);
+      if (abandoned) ++counters_.dropped_responses;
+    }
+    if (!abandoned) {
+      // On abandon the watchdog already cleared `active_`; a same-id
+      // resubmission may own that slot now, so only the winner touches it.
+      FinishJob(job.request.id);
+      job.callback(std::move(response));
+    }
+    return abandoned;
+  };
+
+  // Injected chaos: a worker that goes quiet mid-job (the scenario the
+  // watchdog exists for).
+  if (const std::uint64_t stall_ms = faults::StallMs("serve.worker_stall")) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+  }
+
   if (job.token->StopRequested()) {
+    Response response = CancelledResponse(job, queue_ms);
+    const StopCause cause = job.token->cause();
+    if (cause != StopCause::kNone) {
+      response.stop_cause = StopCauseName(cause);
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++counters_.cancelled;
     }
-    FinishJob(job.request.id);
-    job.callback(CancelledResponse(job, queue_ms));
-    return;
+    return deliver(std::move(response));
   }
 
   Response response;
@@ -370,24 +552,33 @@ void Server::RunJob(Job job, SearchContext* context) {
   response.cache = job.cache_label;
   response.queue_ms = queue_ms;
 
-  // A deadline that expired while queued: answer inexact-with-cause right
-  // away instead of burning a worker on a query nobody is waiting for.
-  if (job.has_deadline && start >= job.deadline) {
+  // A deadline that expired while queued: answer right away instead of
+  // burning a worker on a query nobody is waiting for — but carry a cheap
+  // heuristic incumbent, not an empty shrug. sizecon is excluded: its
+  // witness must meet the (a,b) floor, which the greedy cannot promise.
+  const Clock::time_point solve_start = Clock::now();
+  if (job.has_deadline && solve_start >= job.deadline) {
     response.exact = false;
     response.stop_cause = StopCauseName(StopCause::kDeadline);
+    if (job.request.algo != "sizecon") {
+      const Biclique incumbent = HeuristicIncumbent(job.request.graph);
+      response.size = incumbent.BalancedSize();
+      response.left = incumbent.left;
+      response.right = incumbent.right;
+      response.degraded = true;
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++counters_.expired_in_queue;
+      if (response.degraded) ++counters_.degraded_answers;
     }
-    FinishJob(job.request.id);
-    job.callback(std::move(response));
-    return;
+    return deliver(std::move(response));
   }
 
   SolverOptions options;
   if (job.has_deadline) {
     options.time_limit_seconds =
-        std::chrono::duration<double>(job.deadline - start).count();
+        std::chrono::duration<double>(job.deadline - solve_start).count();
   }
   options.stop_token = job.token;
   options.context = context;
@@ -397,6 +588,10 @@ void Server::RunJob(Job job, SearchContext* context) {
   options.size_a = job.request.size_a;
   options.size_b = job.request.size_b;
   options.top_k = job.request.top_k;
+  options.memory_budget_bytes =
+      job.request.budget_mb > 0
+          ? static_cast<std::uint64_t>(job.request.budget_mb) << 20
+          : options_.memory_budget_bytes;
   if (job.warm) {
     options.initial_bound =
         std::max(options.initial_bound, job.warm_bound - 1);
@@ -404,12 +599,13 @@ void Server::RunJob(Job job, SearchContext* context) {
 
   MbbResult result;
   try {
-    result = SolverRegistry::Solve(job.request.algo, job.request.graph,
-                                   options);
+    result = SolveAnytime(job.request.algo, job.request.graph, options);
     // A warm start raises the reporting bar to the cached isomorph's size.
     // An exact-but-empty answer then means the hint was too high (a 1-WL
     // hash collision, not a true isomorph) — redo the solve without it so
     // the answer stays exact. See docs/SERVING.md, "Cache semantics".
+    // (A resource-exhausted degradation reports exact == false, so it
+    // never takes this branch.)
     if (job.warm && result.exact && result.best.Empty() &&
         options.initial_bound > job.request.initial_bound) {
       {
@@ -419,37 +615,53 @@ void Server::RunJob(Job job, SearchContext* context) {
       job.cache_label = "miss";
       response.cache = job.cache_label;
       options.initial_bound = job.request.initial_bound;
-      result = SolverRegistry::Solve(job.request.algo, job.request.graph,
-                                     options);
+      result = SolveAnytime(job.request.algo, job.request.graph, options);
     }
   } catch (const std::exception& e) {
-    FinishJob(job.request.id);
-    job.callback(ErrorResponse(job.request.id,
-                               std::string("solver failed: ") + e.what()));
-    return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.solver_faults;
+    }
+    return deliver(ErrorResponse(job.request.id,
+                                 std::string("solver failed: ") + e.what()));
   }
 
+  const bool exhausted =
+      result.stats.stop_cause == StopCause::kResourceExhausted;
   response.size = result.best.BalancedSize();
   response.left = result.best.left;
   response.right = result.best.right;
   response.pool = result.pool;
   response.exact = result.exact;
+  response.degraded = exhausted;
   response.stop_cause = StopCauseName(result.stats.stop_cause);
   response.recursions = result.stats.recursions;
-  response.solve_ms = MillisSince(start, Clock::now());
+  response.solve_ms = MillisSince(solve_start, Clock::now());
 
   // Only unconditioned exact answers are cacheable: a caller-supplied
   // initial bound censors the result, and an inexact one may be beatable.
+  // A failed insert (injected or real) costs a future hit, never the
+  // current answer.
   if (!job.algo_class.empty() && result.exact &&
       job.request.initial_bound == 0) {
-    cache_.Insert(job.request.graph, job.canonical_hash, job.exact_hash,
-                  job.algo_class, result);
+    try {
+      MBB_INJECT_FAULT("cache.insert", throw std::bad_alloc());
+      cache_.Insert(job.request.graph, job.canonical_hash, job.exact_hash,
+                    job.algo_class, result);
+    } catch (const std::exception&) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++counters_.cache_insert_failures;
+    }
   }
 
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++counters_.solved;
     if (result.stats.stop_cause == StopCause::kExternal) ++counters_.cancelled;
+    if (exhausted) {
+      ++counters_.resource_exhausted;
+      ++counters_.degraded_answers;
+    }
     counters_.step1_vertices_removed += result.stats.step1_vertices_removed;
     counters_.step1_edges_removed += result.stats.step1_edges_removed;
     counters_.core_reduction_vertices_removed +=
@@ -457,8 +669,7 @@ void Server::RunJob(Job job, SearchContext* context) {
     counters_.sparse_to_dense_switches +=
         result.stats.sparse_to_dense_switches;
   }
-  FinishJob(job.request.id);
-  job.callback(std::move(response));
+  return deliver(std::move(response));
 }
 
 }  // namespace mbb::serve

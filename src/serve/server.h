@@ -1,6 +1,7 @@
 #ifndef MBB_SERVE_SERVER_H_
 #define MBB_SERVE_SERVER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -43,6 +44,24 @@ struct ServerOptions {
   std::uint32_t default_threads = 1;
   /// Payload bounds applied while parsing request graphs.
   RequestLimits limits;
+
+  /// Per-solve memory byte budget applied to requests that don't carry
+  /// their own `budget_mb`; 0 = unlimited. Exceeding it degrades the
+  /// answer to `resource_exhausted` instead of killing the worker.
+  std::uint64_t memory_budget_bytes = 0;
+  /// Watchdog scan interval. The watchdog stamps nothing itself — it
+  /// reads the `StopToken` heartbeat the solvers stamp at each limit poll.
+  double watchdog_poll_ms = 20.0;
+  /// How long a job's stop token may stay tripped with a stale heartbeat
+  /// before the watchdog hard-abandons the job (answers the client with a
+  /// structured `watchdog` error, quarantines the worker, and spawns a
+  /// replacement so the pool keeps its capacity). Also the grace beyond a
+  /// job's deadline before the watchdog trips the token on the solver's
+  /// behalf. 0 disables the watchdog thread entirely.
+  double watchdog_stall_ms = 500.0;
+  /// Fault-injection spec armed at construction (process-global; see
+  /// engine/faults.h). Empty = leave the active spec alone.
+  std::string fault_spec;
 };
 
 /// Monotonic counters; snapshot via `Server::Counters()`.
@@ -55,6 +74,18 @@ struct ServerCounters {
   std::uint64_t rejected_invalid = 0;    // unknown algo etc.
   std::uint64_t cancelled = 0;           // stopped before or during solve
   std::uint64_t expired_in_queue = 0;    // deadline passed while queued
+
+  // Degraded-mode and fault accounting (docs/SERVING.md, "Degraded mode").
+  std::uint64_t resource_exhausted = 0;  // budget/bad_alloc degradations
+  std::uint64_t degraded_answers = 0;    // responses with degraded:true
+  std::uint64_t solver_faults = 0;       // solver threw; error response sent
+  std::uint64_t cache_insert_failures = 0;  // insert threw; answer unaffected
+  std::uint64_t internal_errors = 0;     // HandleLine caught an exception
+  std::uint64_t watchdog_deadline_trips = 0;  // token tripped by the watchdog
+  std::uint64_t watchdog_abandoned = 0;  // jobs hard-abandoned + quarantined
+  std::uint64_t client_disconnects = 0;  // mid-response write failures
+  std::uint64_t write_retries = 0;       // transient write retries that fired
+  std::uint64_t dropped_responses = 0;   // answers with no one left to tell
 
   /// Reduction work aggregated from the `SearchStats` of every completed
   /// solve (see the per-step counters in `core/stats.h`): how much of the
@@ -118,6 +149,12 @@ class Server {
   CacheStats CacheCounters() const { return cache_.Stats(); }
   std::size_t QueueDepth() const;
 
+  /// Transport-side fault accounting (called by the socket/stdio front
+  /// ends and the chaos harness).
+  void NoteClientDisconnect();
+  void NoteWriteRetries(std::uint64_t retries);
+  void NoteDroppedResponse();
+
   /// The stats payload of the protocol's `{"cmd":"stats"}` request.
   Json StatsPayload() const;
 
@@ -144,8 +181,32 @@ class Server {
   };
   using JobList = std::list<Job>;
 
+  /// What the watchdog knows about a running solve. `answered` is the
+  /// exactly-once latch shared with the worker: whoever exchanges it to
+  /// true first (worker completion or watchdog abandon) owns the callback.
+  struct InFlight {
+    std::string request_id;
+    std::shared_ptr<StopToken> token;
+    Callback callback;
+    std::shared_ptr<std::atomic<bool>> answered;
+    Clock::time_point deadline;
+    bool has_deadline = false;
+    /// Escalation state: set when the watchdog first sees the token
+    /// tripped; refreshed while the heartbeat (`StopToken::polls()`)
+    /// advances, so only a worker that stopped observing its token ages
+    /// toward the stall bound.
+    bool stop_observed = false;
+    Clock::time_point stop_seen{};
+    std::uint64_t polls_at_stop = 0;
+  };
+
+  bool HandleLineUnguarded(const std::string& line, const Callback& respond);
   void WorkerLoop();
-  void RunJob(Job job, SearchContext* context);
+  /// Runs one job to its response. Returns true when the watchdog
+  /// abandoned the job first — the calling worker then retires, because a
+  /// replacement was already spawned for it.
+  bool RunJob(Job job, SearchContext* context);
+  void WatchdogLoop();
   /// Pops per the scheduling rule; requires the lock held and a non-empty
   /// queue.
   Job PopLocked();
@@ -166,7 +227,13 @@ class Server {
   std::unordered_map<std::string, std::shared_ptr<StopToken>> active_;
   ServerCounters counters_;
 
+  /// Running solves by serial, for the watchdog.
+  std::uint64_t next_serial_ = 0;
+  std::unordered_map<std::uint64_t, InFlight> in_flight_;
+
   std::vector<std::thread> workers_;
+  std::thread watchdog_;
+  std::condition_variable watchdog_cv_;
 };
 
 }  // namespace mbb::serve
