@@ -8,11 +8,16 @@
 #ifndef MBB_BENCH_BENCH_JSON_LINES_H_
 #define MBB_BENCH_BENCH_JSON_LINES_H_
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <string>
 #include <vector>
+
+#include <unistd.h>
 
 namespace mbb::benchjson {
 
@@ -27,6 +32,24 @@ struct Entry {
   std::string extra;
 };
 
+/// A per-process run id (wall-clock seconds x pid, hex) stamped into
+/// every record this process writes. Re-running a bench binary used to
+/// append rows indistinguishable from the committed baseline, silently
+/// duplicating keys; the run id makes each generation separable so the
+/// committed files can be deduplicated keep-latest.
+inline const std::string& RunId() {
+  static const std::string id = [] {
+    const std::uint64_t stamp =
+        (static_cast<std::uint64_t>(std::time(nullptr)) << 16) ^
+        static_cast<std::uint64_t>(::getpid());
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%012llx",
+                  static_cast<unsigned long long>(stamp));
+    return std::string(buf);
+  }();
+  return id;
+}
+
 /// Appends the collected entries to `path` as JSON Lines.
 inline void WriteJsonLines(const std::string& path, const char* binary,
                            const std::vector<Entry>& entries) {
@@ -37,7 +60,8 @@ inline void WriteJsonLines(const std::string& path, const char* binary,
   out.precision(6);
   out << std::fixed;
   for (const Entry& e : entries) {
-    out << "{\"binary\": \"" << binary_name << "\", \"benchmark\": \""
+    out << "{\"binary\": \"" << binary_name << "\", \"run\": \""
+        << RunId() << "\", \"benchmark\": \""
         << e.name << "\", \"words\": " << static_cast<long long>(e.words)
         << ", \"ns_per_op\": " << e.ns_per_op
         << ", \"dispatch\": \"" << e.dispatch << "\"";

@@ -163,9 +163,16 @@ void BM_RowSweepBitMatrix(benchmark::State& state) {
   state.counters["words"] = static_cast<double>(BitWords(bits));
   state.SetLabel(bitops::ActiveDispatchName());
 }
-// 65536 bits x 256 rows = 2 MiB of rows — past L2 on most parts, where the
-// plain sweep stalls on every row boundary.
-BENCHMARK(BM_RowSweepBitMatrix)->Arg(256)->Arg(2048)->Arg(16384)->Arg(65536);
+// 64/128 bits hit the tight sub-cache-line strides of the adaptive
+// layout; 65536 bits x 256 rows = 2 MiB of rows — past L2 on most parts,
+// where the plain sweep stalls on every row boundary.
+BENCHMARK(BM_RowSweepBitMatrix)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(2048)
+    ->Arg(16384)
+    ->Arg(65536);
 
 /// The same sweep with `BitSpan::Prefetch` lookahead — the pattern the
 /// denseMBB reduction and branch-selection loops use. The hardware stride
@@ -196,6 +203,8 @@ void BM_RowSweepBitMatrixPrefetch(benchmark::State& state) {
   state.SetLabel(bitops::ActiveDispatchName());
 }
 BENCHMARK(BM_RowSweepBitMatrixPrefetch)
+    ->Arg(64)
+    ->Arg(128)
     ->Arg(256)
     ->Arg(2048)
     ->Arg(16384)
@@ -233,6 +242,8 @@ void BM_RowSweepScatteredBitsets(benchmark::State& state) {
   state.SetLabel(bitops::ActiveDispatchName());
 }
 BENCHMARK(BM_RowSweepScatteredBitsets)
+    ->Arg(64)
+    ->Arg(128)
     ->Arg(256)
     ->Arg(2048)
     ->Arg(16384)

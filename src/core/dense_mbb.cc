@@ -79,8 +79,10 @@ class DenseMbbSearcher {
         ctx_(context) {}
 
   /// Makes branch nodes at depth < `spawn_depth` fork their inclusion
-  /// branch into `sink` instead of exploring it inline. `path` is this
-  /// searcher's own position in the task tree (empty for the root).
+  /// branch into `sink` instead of exploring it inline; at the deepest
+  /// spawn level the exclusion branch is forked as well, so the searcher
+  /// returns once both children are delegated. `path` is this searcher's
+  /// own position in the task tree (empty for the root).
   void EnableSplitting(TaskSink* sink, std::uint32_t spawn_depth,
                        std::vector<std::uint32_t> path) {
     sink_ = sink;
@@ -303,13 +305,27 @@ class DenseMbbSearcher {
       // Shallow branch nodes fork the inclusion branch as a stealable task
       // and keep walking the exclusion spine inline — the same exploration
       // order as the sequential recursion when nothing is stolen (owner
-      // pops are LIFO), but any idle worker can pick the fork up. Below
-      // `spawn_depth_` the recursion proceeds sequentially, so the fused
-      // SIMD refinement loops below run exactly as in the 1-thread build.
+      // pops are LIFO), but any idle worker can pick the fork up. At the
+      // deepest spawn level the exclusion child is forked too instead of
+      // walked inline, so the spine's own final subtree is stealable and
+      // the task tree is the full binary tree of depth `spawn_depth_`
+      // (<= 2^d - 1 tasks). Below `spawn_depth_` the recursion proceeds
+      // sequentially, so the fused SIMD refinement loops below run exactly
+      // as in the 1-thread build.
       if (sink_ != nullptr && depth < spawn_depth_) {
         ForkInclusion(ca, cb, ca_count, cb_count, depth, branch_side,
                       branch_vertex);
         ++stats_.tasks_spawned;
+        if (depth + 1 == spawn_depth_) {
+          // The exclusion fork gets the higher ordinal: sequential order
+          // explores exclusion first, and PathBefore treats the higher
+          // ordinal as sequentially earlier. Owner pops are LIFO, so the
+          // owning worker also picks exclusion up first.
+          ForkExclusion(ca, cb, ca_count, cb_count, depth, branch_side,
+                        branch_vertex);
+          ++stats_.tasks_spawned;
+          return false;
+        }
         (branch_side == Side::kLeft ? ca : cb).Reset(branch_vertex);
         if (branch_side == Side::kLeft) {
           --ca_count;
@@ -418,6 +434,29 @@ class DenseMbbSearcher {
       task.ca_count = static_cast<std::uint32_t>(
           task.ca.Row().AndCountAssign(g_.RightRow(branch_vertex)));
     }
+    sink_->Fork(std::move(task));
+  }
+
+  /// Builds the exclusion-branch snapshot — the branch vertex dropped from
+  /// its candidate side, nothing else refined — and hands it to the sink.
+  /// Only used at the deepest spawn level, where the spine stops walking
+  /// inline and delegates both children.
+  void ForkExclusion(const BitRow& ca, const BitRow& cb,
+                     std::uint32_t ca_count, std::uint32_t cb_count,
+                     std::uint32_t depth, Side branch_side,
+                     VertexId branch_vertex) {
+    SubtreeTask task;
+    task.a = a_;
+    task.b = b_;
+    task.depth = depth + 1;
+    task.bound_snapshot = best_size_;
+    task.path = path_;
+    task.path.push_back(spawn_ordinal_++);
+    task.ca = Bitset(ca.Span());
+    task.cb = Bitset(cb.Span());
+    (branch_side == Side::kLeft ? task.ca : task.cb).Reset(branch_vertex);
+    task.ca_count = ca_count - (branch_side == Side::kLeft ? 1 : 0);
+    task.cb_count = cb_count - (branch_side == Side::kRight ? 1 : 0);
     sink_->Fork(std::move(task));
   }
 

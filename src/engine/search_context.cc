@@ -1,5 +1,6 @@
 #include "engine/search_context.h"
 
+#include <algorithm>
 #include <new>
 
 #include "engine/faults.h"
@@ -7,7 +8,8 @@
 namespace mbb {
 
 void SearchContext::PrepareFrames(std::size_t max_bits) {
-  const std::size_t needed = BitMatrix::StrideWords(max_bits);
+  const std::size_t needed =
+      std::max<std::size_t>(BitMatrix::StrideWords(max_bits), 1);
   if (needed <= stride_words_) return;
   // Re-carve the pool at the wider stride. Safe only between searches:
   // existing BranchFrame references die with the slabs backing them.
@@ -17,6 +19,9 @@ void SearchContext::PrepareFrames(std::size_t max_bits) {
 }
 
 void SearchContext::AddFrame() {
+  // A context used without PrepareFrames keeps the old fixed layout: one
+  // cache line (512 bits) per row.
+  if (stride_words_ == 0) stride_words_ = BitMatrix::kStrideWordMultiple;
   const std::size_t level = frames_.size();
   const std::size_t slab = level / kLevelsPerSlab;
   if (slab >= slabs_.size()) {

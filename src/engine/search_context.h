@@ -110,16 +110,20 @@ class SearchContext {
   /// Number of frames materialized so far (diagnostics / tests).
   std::size_t FrameCount() const { return frames_.size(); }
 
-  /// Per-row frame capacity, in bits (diagnostics / tests).
+  /// Per-row frame capacity, in bits (diagnostics / tests). Zero until the
+  /// stride is fixed by `PrepareFrames` or the first `Frame` call.
   std::size_t FrameCapacityBits() const { return stride_words_ * 64; }
 
  private:
   void AddFrame();
 
-  // Default stride: 8 words = 512 bits, one cache line per row. Covers
-  // every vertex-centred subgraph of the sparse pipeline without a
-  // PrepareFrames call.
-  std::size_t stride_words_ = BitMatrix::kStrideWordMultiple;
+  // Frame stride in words. Zero means "not decided yet": the first
+  // PrepareFrames call adopts the adaptive BitMatrix stride for its
+  // subgraph width (tight strides for sub-4-word rows), and a context
+  // used without PrepareFrames falls back to 8 words = 512 bits — one
+  // cache line per row, covering every vertex-centred subgraph of the
+  // sparse pipeline — on its first Frame call.
+  std::size_t stride_words_ = 0;
   std::vector<BitMatrix> slabs_;
   std::deque<BranchFrame> frames_;
   MatchingScratch matching_;

@@ -20,22 +20,39 @@ namespace mbb {
 /// Layout invariants (docs/ARCHITECTURE.md, "Memory layout & SIMD
 /// dispatch"):
 ///   - the base allocation is `kAlignment`-byte aligned;
-///   - the stride is rounded up to `kStrideWordMultiple` words, so every
-///     row starts on its own cache line;
+///   - rows wider than `kTightWordLimit` words have their stride rounded
+///     up to `kStrideWordMultiple` words, so every such row starts on its
+///     own cache line;
+///   - rows of `kTightWordLimit` words or fewer use a tight power-of-two
+///     stride (1, 2 or 4 words) instead — the cache-line rounding would
+///     double-to-octuple their footprint, which is why `BM_RowSweep` used
+///     to lose to scattered bitsets at small widths. The power-of-two
+///     stride keeps rows naturally aligned to their own size, so a row
+///     never straddles a cache-line boundary;
 ///   - all words are zero-initialized, and the zero-tail invariant of
 ///     `BitSpan` holds for every row at all times.
 class BitMatrix {
  public:
-  /// Base-address and per-row alignment, in bytes (one cache line).
+  /// Base-address alignment, in bytes (one cache line).
   static constexpr std::size_t kAlignment = 64;
-  /// Row stride granularity, in words (kAlignment / sizeof(uint64_t)).
+  /// Row stride granularity for wide rows (kAlignment / sizeof(uint64_t)).
   static constexpr std::size_t kStrideWordMultiple =
       kAlignment / sizeof(std::uint64_t);
+  /// Widest row (in words) that uses the tight adaptive stride.
+  static constexpr std::size_t kTightWordLimit = 4;
 
-  /// Row stride used for `bits_per_row`-bit rows, in words.
+  /// Row stride used for `bits_per_row`-bit rows, in words: the smallest
+  /// power of two holding the row for narrow rows, a `kStrideWordMultiple`
+  /// multiple beyond `kTightWordLimit` words.
   static constexpr std::size_t StrideWords(std::size_t bits_per_row) {
-    return (BitWords(bits_per_row) + kStrideWordMultiple - 1) /
-           kStrideWordMultiple * kStrideWordMultiple;
+    const std::size_t words = BitWords(bits_per_row);
+    if (words <= kTightWordLimit) {
+      std::size_t stride = words == 0 ? 0 : 1;
+      while (stride < words) stride <<= 1;
+      return stride;
+    }
+    return (words + kStrideWordMultiple - 1) / kStrideWordMultiple *
+           kStrideWordMultiple;
   }
 
   BitMatrix() = default;

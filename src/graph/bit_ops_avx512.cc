@@ -1,0 +1,454 @@
+/// AVX-512 backend for the bit_ops kernel table. This translation unit is
+/// the only one compiled with `-mavx512f` (which on every supported
+/// compiler also enables AVX2 and scalar POPCNT, used for the narrow
+/// helpers), so nothing here may be called without a prior CPUID check —
+/// the dispatch layer in bit_ops.cc guarantees that.
+///
+/// Two sub-variants share this TU:
+///
+///   - `avx512::*`      — plain AVX-512F. Counting kernels use a
+///                        Harley–Seal carry-save tree (one
+///                        `vpternlogq` per full adder) to compress
+///                        sixteen 512-bit vectors before popcounting,
+///                        and the Muła nibble-lookup on the two 256-bit
+///                        halves for the actual popcount (512-bit byte
+///                        shuffles need AVX512BW, which plain F lacks).
+///   - `avx512::vp::*`  — native VPOPCNTDQ. Counting kernels are a
+///                        straight `vpopcntq` + add per vector. These
+///                        functions carry
+///                        `__attribute__((target(...)))` instead of a
+///                        TU-level `-mavx512vpopcntdq`, so the fallback
+///                        functions above can never accidentally contain
+///                        a VPOPCNTDQ instruction and SIGILL on
+///                        avx512f-only cores.
+///
+/// Ragged tails are handled with masked loads/stores
+/// (`_mm512_maskz_loadu_epi64` touches only the enabled lanes, so reading
+/// "past" a 3-word row is safe) — no scalar tail loops. The
+/// transform-only kernels (`AndAssign`, `AndNotAssign`, `AndInto`,
+/// `AndNotInto`) contain no popcount and are shared by both sub-variant
+/// dispatch tables.
+
+#ifdef MBB_HAVE_AVX512
+
+#include <immintrin.h>
+
+#include "graph/bit_ops.h"
+
+namespace mbb::bitops::avx512 {
+
+namespace {
+
+/// Per-64-bit-lane popcount of a 256-bit vector (Muła nibble lookup +
+/// `vpsadbw`); lane sums land in the four u64 lanes of the result.
+inline __m256i PopCount256(__m256i v) {
+  const __m256i lookup = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, low_mask);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lookup, lo),
+                                      _mm256_shuffle_epi8(lookup, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+/// Per-64-bit-lane popcount of a 512-bit vector, folded onto its two
+/// 256-bit halves (lane i of the result counts lanes i and i+4 of `v`).
+/// Callers accumulate these and horizontally sum once at the end.
+inline __m256i PopCountHalves(__m512i v) {
+  return _mm256_add_epi64(PopCount256(_mm512_castsi512_si256(v)),
+                          PopCount256(_mm512_extracti64x4_epi64(v, 1)));
+}
+
+inline std::uint64_t HorizontalSum256(__m256i acc) {
+  const __m128i lo = _mm256_castsi256_si128(acc);
+  const __m128i hi = _mm256_extracti128_si256(acc, 1);
+  const __m128i sum = _mm_add_epi64(lo, hi);
+  return static_cast<std::uint64_t>(_mm_extract_epi64(sum, 0)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(sum, 1));
+}
+
+/// One-shot total popcount of a single 512-bit vector (tails, final
+/// Harley–Seal counters — never in per-vector loops).
+inline std::uint64_t PopCount512(__m512i v) {
+  return HorizontalSum256(PopCountHalves(v));
+}
+
+/// Horizontal sum of the eight u64 lanes via a spill (once per kernel
+/// call; used instead of `_mm512_reduce_add_epi64`/extract chains, whose
+/// GCC header expansions trip -Wuninitialized inside target-attribute
+/// functions).
+inline std::uint64_t ReduceAdd512(__m512i v) {
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_storeu_si512(lanes, v);
+  return lanes[0] + lanes[1] + lanes[2] + lanes[3] + lanes[4] + lanes[5] +
+         lanes[6] + lanes[7];
+}
+
+/// Carry-save full adder: `l` accumulates the XOR (sum) of {l, a, b},
+/// `h` receives the majority (carry). One `vpternlogq` each.
+inline void Csa(__m512i& h, __m512i& l, __m512i a, __m512i b) {
+  const __m512i u = l;
+  l = _mm512_ternarylogic_epi64(u, a, b, 0x96);  // xor3
+  h = _mm512_ternarylogic_epi64(u, a, b, 0xe8);  // majority
+}
+
+/// Rounds a word count down to whole 16-vector (128-word) Harley–Seal
+/// blocks. Below one block the carry tree cannot amortize its counters
+/// and the 256-bit Muła loop wins (extract + shuffle pressure), so the
+/// counting kernels only enter the tree for ≥128-word prefixes.
+inline std::size_t HarleySealWords(std::size_t words) {
+  return (words / 128) * 128;
+}
+
+/// Popcount of `nvec` 512-bit vectors produced by `load(i)`; `nvec` must
+/// be a multiple of 16 (see `HarleySealWords`). Each block of sixteen
+/// vectors is compressed through the carry-save tree — one Muła popcount
+/// per block instead of sixteen — and the partial-sum counters are
+/// popcounted once at the end with their bit weights.
+template <typename LoadFn>
+inline std::uint64_t CountVectors(LoadFn load, std::size_t nvec) {
+  __m512i ones = _mm512_setzero_si512();
+  __m512i twos = _mm512_setzero_si512();
+  __m512i fours = _mm512_setzero_si512();
+  __m512i eights = _mm512_setzero_si512();
+  __m256i sixteens_acc = _mm256_setzero_si256();
+  for (std::size_t i = 0; i + 16 <= nvec; i += 16) {
+    __m512i twos_a, twos_b, fours_a, fours_b, eights_a, eights_b, sixteens;
+    Csa(twos_a, ones, load(i), load(i + 1));
+    Csa(twos_b, ones, load(i + 2), load(i + 3));
+    Csa(fours_a, twos, twos_a, twos_b);
+    Csa(twos_a, ones, load(i + 4), load(i + 5));
+    Csa(twos_b, ones, load(i + 6), load(i + 7));
+    Csa(fours_b, twos, twos_a, twos_b);
+    Csa(eights_a, fours, fours_a, fours_b);
+    Csa(twos_a, ones, load(i + 8), load(i + 9));
+    Csa(twos_b, ones, load(i + 10), load(i + 11));
+    Csa(fours_a, twos, twos_a, twos_b);
+    Csa(twos_a, ones, load(i + 12), load(i + 13));
+    Csa(twos_b, ones, load(i + 14), load(i + 15));
+    Csa(fours_b, twos, twos_a, twos_b);
+    Csa(eights_b, fours, fours_a, fours_b);
+    Csa(sixteens, eights, eights_a, eights_b);
+    sixteens_acc = _mm256_add_epi64(sixteens_acc, PopCountHalves(sixteens));
+  }
+  return 16 * HorizontalSum256(sixteens_acc) + 8 * PopCount512(eights) +
+         4 * PopCount512(fours) + 2 * PopCount512(twos) + PopCount512(ones);
+}
+
+inline __mmask8 TailMask(std::size_t rem) {
+  return static_cast<__mmask8>((1u << rem) - 1u);
+}
+
+/// 256-bit Muła loops for sub-block sizes and Harley–Seal remainders.
+/// Kept out of the carry-tree control flow so the `words < 128` fast path
+/// never touches (or popcounts) the zeroed 512-bit counters.
+inline std::uint64_t Count256(const std::uint64_t* a, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    acc = _mm256_add_epi64(acc, PopCount256(v));
+  }
+  std::uint64_t total = HorizontalSum256(acc);
+  for (; i < words; ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i]));
+  }
+  return total;
+}
+
+inline std::uint64_t CountAnd256(const std::uint64_t* a,
+                                 const std::uint64_t* b, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    acc = _mm256_add_epi64(acc, PopCount256(_mm256_and_si256(va, vb)));
+  }
+  std::uint64_t total = HorizontalSum256(acc);
+  for (; i < words; ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & b[i]));
+  }
+  return total;
+}
+
+inline std::uint64_t CountAndNot256(const std::uint64_t* a,
+                                    const std::uint64_t* b,
+                                    std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    // andnot computes ~first & second.
+    acc = _mm256_add_epi64(acc, PopCount256(_mm256_andnot_si256(vb, va)));
+  }
+  std::uint64_t total = HorizontalSum256(acc);
+  for (; i < words; ++i) {
+    total += static_cast<std::uint64_t>(__builtin_popcountll(a[i] & ~b[i]));
+  }
+  return total;
+}
+
+inline std::uint64_t AndCountInto256(std::uint64_t* dst,
+                                     const std::uint64_t* a,
+                                     const std::uint64_t* b,
+                                     std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i v = _mm256_and_si256(va, vb);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), v);
+    acc = _mm256_add_epi64(acc, PopCount256(v));
+  }
+  std::uint64_t total = HorizontalSum256(acc);
+  for (; i < words; ++i) {
+    dst[i] = a[i] & b[i];
+    total += static_cast<std::uint64_t>(__builtin_popcountll(dst[i]));
+  }
+  return total;
+}
+
+}  // namespace
+
+std::size_t Count(const std::uint64_t* a, std::size_t words) {
+  if (words < 128) return static_cast<std::size_t>(Count256(a, words));
+  const std::size_t hs = HarleySealWords(words);
+  const std::uint64_t total = CountVectors(
+      [a](std::size_t i) { return _mm512_loadu_si512(a + 8 * i); }, hs / 8);
+  return static_cast<std::size_t>(total + Count256(a + hs, words - hs));
+}
+
+std::size_t CountAnd(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t words) {
+  if (words < 128) return static_cast<std::size_t>(CountAnd256(a, b, words));
+  const std::size_t hs = HarleySealWords(words);
+  const std::uint64_t total = CountVectors(
+      [a, b](std::size_t i) {
+        return _mm512_and_si512(_mm512_loadu_si512(a + 8 * i),
+                                _mm512_loadu_si512(b + 8 * i));
+      },
+      hs / 8);
+  return static_cast<std::size_t>(total +
+                                  CountAnd256(a + hs, b + hs, words - hs));
+}
+
+std::size_t CountAndNot(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t words) {
+  if (words < 128) {
+    return static_cast<std::size_t>(CountAndNot256(a, b, words));
+  }
+  const std::size_t hs = HarleySealWords(words);
+  const std::uint64_t total = CountVectors(
+      [a, b](std::size_t i) {
+        // andnot computes ~first & second.
+        return _mm512_andnot_si512(_mm512_loadu_si512(b + 8 * i),
+                                   _mm512_loadu_si512(a + 8 * i));
+      },
+      hs / 8);
+  return static_cast<std::size_t>(total +
+                                  CountAndNot256(a + hs, b + hs, words - hs));
+}
+
+void AndAssign(std::uint64_t* dst, const std::uint64_t* src,
+               std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    _mm512_storeu_si512(dst + i,
+                        _mm512_and_si512(_mm512_loadu_si512(dst + i),
+                                         _mm512_loadu_si512(src + i)));
+  }
+  const std::size_t rem = words - i;
+  if (rem != 0) {
+    const __mmask8 m = TailMask(rem);
+    _mm512_mask_storeu_epi64(
+        dst + i, m,
+        _mm512_and_si512(_mm512_maskz_loadu_epi64(m, dst + i),
+                         _mm512_maskz_loadu_epi64(m, src + i)));
+  }
+}
+
+void AndNotAssign(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    _mm512_storeu_si512(dst + i,
+                        _mm512_andnot_si512(_mm512_loadu_si512(src + i),
+                                            _mm512_loadu_si512(dst + i)));
+  }
+  const std::size_t rem = words - i;
+  if (rem != 0) {
+    const __mmask8 m = TailMask(rem);
+    _mm512_mask_storeu_epi64(
+        dst + i, m,
+        _mm512_andnot_si512(_mm512_maskz_loadu_epi64(m, src + i),
+                            _mm512_maskz_loadu_epi64(m, dst + i)));
+  }
+}
+
+void AndInto(std::uint64_t* dst, const std::uint64_t* a,
+             const std::uint64_t* b, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    _mm512_storeu_si512(dst + i,
+                        _mm512_and_si512(_mm512_loadu_si512(a + i),
+                                         _mm512_loadu_si512(b + i)));
+  }
+  const std::size_t rem = words - i;
+  if (rem != 0) {
+    const __mmask8 m = TailMask(rem);
+    _mm512_mask_storeu_epi64(
+        dst + i, m,
+        _mm512_and_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                         _mm512_maskz_loadu_epi64(m, b + i)));
+  }
+}
+
+std::size_t AndCountInto(std::uint64_t* dst, const std::uint64_t* a,
+                         const std::uint64_t* b, std::size_t words) {
+  if (words < 128) {
+    return static_cast<std::size_t>(AndCountInto256(dst, a, b, words));
+  }
+  // The carry tree counts the intersection while the loader streams it to
+  // `dst` — the store rides along for free.
+  const std::size_t hs = HarleySealWords(words);
+  const std::uint64_t total = CountVectors(
+      [dst, a, b](std::size_t i) {
+        const __m512i v = _mm512_and_si512(_mm512_loadu_si512(a + 8 * i),
+                                           _mm512_loadu_si512(b + 8 * i));
+        _mm512_storeu_si512(dst + 8 * i, v);
+        return v;
+      },
+      hs / 8);
+  return static_cast<std::size_t>(
+      total + AndCountInto256(dst + hs, a + hs, b + hs, words - hs));
+}
+
+void AndNotInto(std::uint64_t* dst, const std::uint64_t* a,
+                const std::uint64_t* b, std::size_t words) {
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    _mm512_storeu_si512(dst + i,
+                        _mm512_andnot_si512(_mm512_loadu_si512(b + i),
+                                            _mm512_loadu_si512(a + i)));
+  }
+  const std::size_t rem = words - i;
+  if (rem != 0) {
+    const __mmask8 m = TailMask(rem);
+    _mm512_mask_storeu_epi64(
+        dst + i, m,
+        _mm512_andnot_si512(_mm512_maskz_loadu_epi64(m, b + i),
+                            _mm512_maskz_loadu_epi64(m, a + i)));
+  }
+}
+
+#ifdef MBB_HAVE_AVX512_VPOPCNTDQ
+
+namespace vp {
+
+#define MBB_VPOPCNT_TARGET \
+  __attribute__((target("avx512f,avx512vpopcntdq")))
+
+MBB_VPOPCNT_TARGET
+std::size_t Count(const std::uint64_t* a, std::size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    acc = _mm512_add_epi64(acc,
+                           _mm512_popcnt_epi64(_mm512_loadu_si512(a + i)));
+  }
+  const std::size_t rem = words - i;
+  if (rem != 0) {
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(
+                 _mm512_maskz_loadu_epi64(TailMask(rem), a + i)));
+  }
+  return static_cast<std::size_t>(ReduceAdd512(acc));
+}
+
+MBB_VPOPCNT_TARGET
+std::size_t CountAnd(const std::uint64_t* a, const std::uint64_t* b,
+                     std::size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_and_si512(
+                 _mm512_loadu_si512(a + i), _mm512_loadu_si512(b + i))));
+  }
+  const std::size_t rem = words - i;
+  if (rem != 0) {
+    const __mmask8 m = TailMask(rem);
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(
+                 _mm512_and_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                                  _mm512_maskz_loadu_epi64(m, b + i))));
+  }
+  return static_cast<std::size_t>(ReduceAdd512(acc));
+}
+
+MBB_VPOPCNT_TARGET
+std::size_t CountAndNot(const std::uint64_t* a, const std::uint64_t* b,
+                        std::size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    // andnot computes ~first & second.
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(_mm512_andnot_si512(
+                 _mm512_loadu_si512(b + i), _mm512_loadu_si512(a + i))));
+  }
+  const std::size_t rem = words - i;
+  if (rem != 0) {
+    const __mmask8 m = TailMask(rem);
+    acc = _mm512_add_epi64(
+        acc, _mm512_popcnt_epi64(
+                 _mm512_andnot_si512(_mm512_maskz_loadu_epi64(m, b + i),
+                                     _mm512_maskz_loadu_epi64(m, a + i))));
+  }
+  return static_cast<std::size_t>(ReduceAdd512(acc));
+}
+
+MBB_VPOPCNT_TARGET
+std::size_t AndCountInto(std::uint64_t* dst, const std::uint64_t* a,
+                         const std::uint64_t* b, std::size_t words) {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m512i v = _mm512_and_si512(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    _mm512_storeu_si512(dst + i, v);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  const std::size_t rem = words - i;
+  if (rem != 0) {
+    const __mmask8 m = TailMask(rem);
+    const __m512i v =
+        _mm512_and_si512(_mm512_maskz_loadu_epi64(m, a + i),
+                         _mm512_maskz_loadu_epi64(m, b + i));
+    _mm512_mask_storeu_epi64(dst + i, m, v);
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(v));
+  }
+  return static_cast<std::size_t>(ReduceAdd512(acc));
+}
+
+#undef MBB_VPOPCNT_TARGET
+
+}  // namespace vp
+
+#endif  // MBB_HAVE_AVX512_VPOPCNTDQ
+
+}  // namespace mbb::bitops::avx512
+
+#endif  // MBB_HAVE_AVX512

@@ -12,6 +12,7 @@
 #include "engine/faults.h"
 #include "engine/registry.h"
 #include "engine/search_context.h"
+#include "graph/bit_ops.h"
 #include "graph/canonical.h"
 #include "serve/hardness.h"
 
@@ -323,6 +324,7 @@ Json Server::StatsPayload() const {
   }
   payload.emplace("queue_depth", Json(std::uint64_t{queue_depth}));
   payload.emplace("workers", Json(std::uint64_t{num_workers}));
+  payload.emplace("dispatch", Json(std::string(bitops::ActiveDispatchName())));
   payload.emplace("submitted", Json(counters.submitted));
   payload.emplace("solved", Json(counters.solved));
   payload.emplace("answered_from_cache", Json(counters.answered_from_cache));

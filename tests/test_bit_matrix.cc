@@ -4,6 +4,7 @@
 /// ops), the SearchContext frame arena, and a DenseSubgraph round-trip
 /// regression over the new substrate.
 
+#include <bit>
 #include <cstdint>
 #include <random>
 #include <vector>
@@ -21,17 +22,37 @@ namespace mbb {
 namespace {
 
 TEST(BitMatrix, LayoutInvariants) {
-  for (const std::size_t bits : {1u, 63u, 64u, 65u, 511u, 512u, 513u}) {
+  for (const std::size_t bits : {1u, 63u, 64u, 65u, 128u, 129u, 191u, 255u,
+                                 256u, 257u, 511u, 512u, 513u}) {
     BitMatrix m(5, bits);
     EXPECT_EQ(m.rows(), 5u);
     EXPECT_EQ(m.bits_per_row(), bits);
-    EXPECT_EQ(m.stride_words() % BitMatrix::kStrideWordMultiple, 0u);
+    const std::size_t words = BitWords(bits);
     EXPECT_GE(m.stride_words() * 64, bits);
+    if (words <= BitMatrix::kTightWordLimit) {
+      // Narrow rows use the tight adaptive stride: the smallest power of
+      // two holding the row, so a row is naturally aligned to its own
+      // size and never straddles a cache-line boundary.
+      EXPECT_EQ(m.stride_words(), std::bit_ceil(words));
+      for (std::size_t r = 0; r < m.rows(); ++r) {
+        const std::uintptr_t start =
+            reinterpret_cast<std::uintptr_t>(m.RowWords(r));
+        EXPECT_EQ(start % (m.stride_words() * sizeof(std::uint64_t)), 0u);
+        EXPECT_LE(start % BitMatrix::kAlignment +
+                      m.stride_words() * sizeof(std::uint64_t),
+                  BitMatrix::kAlignment)
+            << "tight row straddles a cache line";
+      }
+    } else {
+      EXPECT_EQ(m.stride_words() % BitMatrix::kStrideWordMultiple, 0u);
+      for (std::size_t r = 0; r < m.rows(); ++r) {
+        // Every wide row starts on its own cache line.
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.RowWords(r)) %
+                      BitMatrix::kAlignment,
+                  0u);
+      }
+    }
     for (std::size_t r = 0; r < m.rows(); ++r) {
-      // Every row starts on its own cache line.
-      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.RowWords(r)) %
-                    BitMatrix::kAlignment,
-                0u);
       EXPECT_EQ(m.Row(r).Count(), 0u) << "rows must start zeroed";
     }
   }
@@ -52,7 +73,10 @@ TEST(BitMatrix, CopyIsDeep) {
 /// rows and a vector<Bitset> mirror, comparing all rows after every step.
 TEST(BitMatrix, RandomOpsMatchBitsetMirror) {
   std::mt19937_64 rng(7);
-  for (const std::size_t bits : {40u, 64u, 130u, 500u}) {
+  // 40/64 exercise the 1-word tight stride, 130 the 4-word one (3 words
+  // rounded to the next power of two), 200 the tight limit exactly, and
+  // 500 the cache-line stride of wide rows.
+  for (const std::size_t bits : {40u, 64u, 130u, 200u, 500u}) {
     const std::size_t rows = 8;
     BitMatrix m(rows, bits);
     std::vector<Bitset> mirror(rows, Bitset(bits));
@@ -165,19 +189,23 @@ TEST(BitRowView, CopyFromAndFusedOps) {
 
 TEST(SearchContextFrames, PrepareGrowsCapacityAndKeepsPointersStable) {
   SearchContext ctx;
-  EXPECT_EQ(ctx.FrameCapacityBits(), 512u) << "default stride is one line";
+  EXPECT_EQ(ctx.FrameCapacityBits(), 0u)
+      << "stride undecided before first use";
   ctx.PrepareFrames(100);
-  EXPECT_EQ(ctx.FrameCapacityBits(), 512u) << "no shrink below default";
+  EXPECT_EQ(ctx.FrameCapacityBits(), 128u)
+      << "adaptive stride: a 100-bit subgraph carves 2-word frames";
+  ctx.PrepareFrames(40);
+  EXPECT_EQ(ctx.FrameCapacityBits(), 128u) << "no shrink";
 
   SearchContext::BranchFrame& f0 = ctx.Frame(0);
-  f0.ca.Resize(500);
+  f0.ca.Resize(100);
   f0.ca.SetAll();
   const std::uint64_t* words_before = f0.ca.words();
   // Growing the pool across slab boundaries must not move earlier frames.
   ctx.Frame(3 * SearchContext::kLevelsPerSlab);
   EXPECT_EQ(&ctx.Frame(0), &f0);
   EXPECT_EQ(f0.ca.words(), words_before);
-  EXPECT_EQ(f0.ca.Count(), 500u);
+  EXPECT_EQ(f0.ca.Count(), 100u);
 
   // Growing the stride re-carves the pool (documented: only between
   // searches) and widens every frame's capacity.
@@ -187,6 +215,16 @@ TEST(SearchContextFrames, PrepareGrowsCapacityAndKeepsPointersStable) {
   SearchContext::BranchFrame& wide = ctx.Frame(2);
   wide.cb.Resize(2000, true);
   EXPECT_EQ(wide.cb.Count(), 2000u);
+}
+
+/// A context used without PrepareFrames keeps the historical fixed
+/// layout: one cache line (512 bits) per frame row.
+TEST(SearchContextFrames, UnpreparedContextDefaultsToOneLineFrames) {
+  SearchContext ctx;
+  SearchContext::BranchFrame& f = ctx.Frame(0);
+  EXPECT_EQ(ctx.FrameCapacityBits(), 512u);
+  f.ca.Resize(512, true);
+  EXPECT_EQ(f.ca.Count(), 512u);
 }
 
 /// Adjacent recursion levels must be usable concurrently (the branch step

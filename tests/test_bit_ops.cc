@@ -64,21 +64,41 @@ class ScopedPolicy {
   DispatchPolicy saved_;
 };
 
+/// Mirrors the dispatch layer's env-knob semantics: set and not "0".
+bool EnvFlagSet(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
 TEST(BitOpsDispatch, PolicyControlsActiveName) {
   {
     ScopedPolicy forced(DispatchPolicy::kForceScalar);
     EXPECT_STREQ(bitops::ActiveDispatchName(), "scalar");
     EXPECT_EQ(bitops::GetDispatchPolicy(), DispatchPolicy::kForceScalar);
   }
-  // The MBB_FORCE_SCALAR environment override pins kAuto to scalar even
-  // when SIMD is available (the CI runtime-scalar leg runs this way).
-  const char* env_override = std::getenv("MBB_FORCE_SCALAR");
-  if (bitops::SimdAvailable() && env_override == nullptr) {
-    ScopedPolicy automatic(DispatchPolicy::kAuto);
-    EXPECT_STREQ(bitops::ActiveDispatchName(), "avx2");
-  } else {
-    EXPECT_STREQ(bitops::ActiveDispatchName(), "scalar");
+  {
+    ScopedPolicy forced(DispatchPolicy::kForceAvx2);
+    EXPECT_STREQ(bitops::ActiveDispatchName(),
+                 bitops::SimdAvailable() ? "avx2" : "scalar");
   }
+  // kAuto resolves to the widest level the build + CPU allow, unless one
+  // of the downgrade knobs pins it (the CI forced-downgrade legs run the
+  // whole suite under MBB_FORCE_SCALAR=1 / MBB_FORCE_AVX2=1).
+  const char* expected = "scalar";
+  if (EnvFlagSet("MBB_FORCE_SCALAR")) {
+    expected = "scalar";
+  } else if (EnvFlagSet("MBB_FORCE_AVX2")) {
+    expected = bitops::SimdAvailable() ? "avx2" : "scalar";
+  } else if (bitops::Avx512VpopcntAvailable()) {
+    expected = "avx512-vpopcnt";
+  } else if (bitops::Avx512Available()) {
+    expected = "avx512";
+  } else if (bitops::SimdAvailable()) {
+    expected = "avx2";
+  }
+  ScopedPolicy automatic(DispatchPolicy::kAuto);
+  EXPECT_STREQ(bitops::ActiveDispatchName(), expected);
 }
 
 TEST(BitOpsKernels, ScalarMatchesReferenceAtWordBoundaries) {
@@ -154,6 +174,93 @@ TEST(BitOpsKernels, SimdMatchesScalarAtWordBoundaries) {
 #endif
 }
 
+/// AVX-512 word-count boundaries, chosen around the kernels' three
+/// regimes: the 8-word (512-bit) vector step and its masked tail
+/// ({7,8,9,15,16,17} words), the 256-bit remainder loop of the counting
+/// kernels ({63,64,65}), and the 128-word Harley-Seal block threshold of
+/// the plain-avx512f fallback ({127,128,129,256}).
+const std::size_t kAvx512BoundaryWords[] = {1,  2,  3,   7,   8,   9,  15,
+                                            16, 17, 63,  64,  65,  127,
+                                            128, 129, 256};
+
+/// Every kernel of the AVX-512 backend (both sub-variants) against scalar
+/// at the word boundaries above, plus ragged bit widths that leave a
+/// cleared tail inside the last word. Skipped where the build or CPU has
+/// no AVX-512.
+TEST(BitOpsKernels, Avx512MatchesScalarAtWordBoundaries) {
+  if (!bitops::Avx512Available()) {
+    GTEST_SKIP() << "no AVX-512 backend compiled in / CPU support";
+  }
+#ifdef MBB_HAVE_AVX512
+  std::mt19937_64 rng(71);
+  for (const std::size_t base_words : kAvx512BoundaryWords) {
+    for (int trial = 0; trial < 4; ++trial) {
+      // Alternate full and ragged rows: trial parity drops 13 bits from
+      // the last word, exercising the cleared-tail invariant.
+      const std::size_t bits = base_words * 64 - ((trial & 1) ? 13 : 0);
+      const std::vector<std::uint64_t> a = RandomWords(bits, rng);
+      const std::vector<std::uint64_t> b = RandomWords(bits, rng);
+      const std::size_t words = a.size();
+
+      EXPECT_EQ(bitops::avx512::Count(a.data(), words),
+                bitops::scalar::Count(a.data(), words));
+      EXPECT_EQ(bitops::avx512::CountAnd(a.data(), b.data(), words),
+                bitops::scalar::CountAnd(a.data(), b.data(), words));
+      EXPECT_EQ(bitops::avx512::CountAndNot(a.data(), b.data(), words),
+                bitops::scalar::CountAndNot(a.data(), b.data(), words));
+
+      std::vector<std::uint64_t> scalar_dst = a;
+      std::vector<std::uint64_t> simd_dst = a;
+      bitops::scalar::AndAssign(scalar_dst.data(), b.data(), words);
+      bitops::avx512::AndAssign(simd_dst.data(), b.data(), words);
+      EXPECT_EQ(scalar_dst, simd_dst);
+
+      scalar_dst = a;
+      simd_dst = a;
+      bitops::scalar::AndNotAssign(scalar_dst.data(), b.data(), words);
+      bitops::avx512::AndNotAssign(simd_dst.data(), b.data(), words);
+      EXPECT_EQ(scalar_dst, simd_dst);
+
+      std::vector<std::uint64_t> scalar_out(words, 0xdeadbeef);
+      std::vector<std::uint64_t> simd_out(words, 0xdeadbeef);
+      bitops::scalar::AndInto(scalar_out.data(), a.data(), b.data(), words);
+      bitops::avx512::AndInto(simd_out.data(), a.data(), b.data(), words);
+      EXPECT_EQ(scalar_out, simd_out);
+
+      const std::size_t scalar_count = bitops::scalar::AndCountInto(
+          scalar_out.data(), a.data(), b.data(), words);
+      const std::size_t simd_count = bitops::avx512::AndCountInto(
+          simd_out.data(), a.data(), b.data(), words);
+      EXPECT_EQ(scalar_out, simd_out);
+      EXPECT_EQ(scalar_count, simd_count);
+
+      bitops::scalar::AndNotInto(scalar_out.data(), a.data(), b.data(),
+                                 words);
+      bitops::avx512::AndNotInto(simd_out.data(), a.data(), b.data(), words);
+      EXPECT_EQ(scalar_out, simd_out);
+
+#ifdef MBB_HAVE_AVX512_VPOPCNTDQ
+      if (bitops::Avx512VpopcntAvailable()) {
+        EXPECT_EQ(bitops::avx512::vp::Count(a.data(), words),
+                  bitops::scalar::Count(a.data(), words));
+        EXPECT_EQ(bitops::avx512::vp::CountAnd(a.data(), b.data(), words),
+                  bitops::scalar::CountAnd(a.data(), b.data(), words));
+        EXPECT_EQ(bitops::avx512::vp::CountAndNot(a.data(), b.data(), words),
+                  bitops::scalar::CountAndNot(a.data(), b.data(), words));
+        std::vector<std::uint64_t> vp_out(words, 0xdeadbeef);
+        bitops::scalar::AndInto(scalar_out.data(), a.data(), b.data(),
+                                words);
+        const std::size_t vp_count = bitops::avx512::vp::AndCountInto(
+            vp_out.data(), a.data(), b.data(), words);
+        EXPECT_EQ(scalar_out, vp_out);
+        EXPECT_EQ(vp_count, ReferenceCount(a, b, Op::kAnd));
+      }
+#endif
+    }
+  }
+#endif
+}
+
 /// The in-place forms alias dst == a; both backends must handle that.
 TEST(BitOpsKernels, FusedKernelsSupportAliasedDestination) {
   std::mt19937_64 rng(41);
@@ -171,12 +278,40 @@ TEST(BitOpsKernels, FusedKernelsSupportAliasedDestination) {
     bitops::scalar::AndInto(reference.data(), a.data(), b.data(), words);
     EXPECT_EQ(aliased, reference);
 
-    ScopedPolicy forced(DispatchPolicy::kForceScalar);
-    aliased = a;
-    EXPECT_EQ(bitops::AndCountInto(aliased.data(), aliased.data(), b.data(),
-                                   words),
-              expected);
-    EXPECT_EQ(aliased, reference);
+    {
+      ScopedPolicy forced(DispatchPolicy::kForceScalar);
+      aliased = a;
+      EXPECT_EQ(bitops::AndCountInto(aliased.data(), aliased.data(),
+                                     b.data(), words),
+                expected);
+      EXPECT_EQ(aliased, reference);
+    }
+
+#ifdef MBB_HAVE_AVX512
+    // The AVX-512 backends (read-before-write vector loops) must tolerate
+    // the same aliasing; exercised via direct calls because there is no
+    // force-avx512 policy.
+    if (bitops::Avx512Available()) {
+      aliased = a;
+      EXPECT_EQ(bitops::avx512::AndCountInto(aliased.data(), aliased.data(),
+                                             b.data(), words),
+                expected);
+      EXPECT_EQ(aliased, reference);
+      aliased = a;
+      bitops::avx512::AndInto(aliased.data(), aliased.data(), b.data(),
+                              words);
+      EXPECT_EQ(aliased, reference);
+#ifdef MBB_HAVE_AVX512_VPOPCNTDQ
+      if (bitops::Avx512VpopcntAvailable()) {
+        aliased = a;
+        EXPECT_EQ(bitops::avx512::vp::AndCountInto(
+                      aliased.data(), aliased.data(), b.data(), words),
+                  expected);
+        EXPECT_EQ(aliased, reference);
+      }
+#endif
+    }
+#endif
   }
 }
 
@@ -208,9 +343,11 @@ TEST(BitOpsKernels, BitsetOpsMatchUnderBothPolicies) {
   }
 }
 
-/// Acceptance gate: every registry solver reports the same optimum on the
-/// paper example and 20 random G(n,p) instances with SIMD forced off and
-/// (when available) on.
+/// Acceptance gate: every registry solver is bit-identical — optimum size,
+/// witness biclique, and search counters — on the paper example and 20
+/// random G(n,p) instances across every dispatch level this machine can
+/// run (kForceScalar, kForceAvx2, and whatever kAuto resolves to — the
+/// AVX-512 backend on wide-enough hardware).
 TEST(SimdDeterminism, AllRegistrySolversAgreeAcrossDispatchPaths) {
   std::vector<BipartiteGraph> graphs;
   graphs.push_back(testing::PaperExampleGraph());
@@ -219,20 +356,37 @@ TEST(SimdDeterminism, AllRegistrySolversAgreeAcrossDispatchPaths) {
     graphs.push_back(RandomUniform(12, 12, p, seed));
   }
 
+  const DispatchPolicy policies[] = {DispatchPolicy::kForceScalar,
+                                     DispatchPolicy::kForceAvx2,
+                                     DispatchPolicy::kAuto};
   for (const std::string& name : SolverRegistry::Instance().Names()) {
     for (std::size_t i = 0; i < graphs.size(); ++i) {
-      std::uint32_t scalar_best;
+      MbbResult baseline;
       {
         ScopedPolicy forced(DispatchPolicy::kForceScalar);
-        scalar_best =
-            SolverRegistry::Solve(name, graphs[i]).best.BalancedSize();
+        baseline = SolverRegistry::Solve(name, graphs[i]);
       }
-      ScopedPolicy automatic(DispatchPolicy::kAuto);
-      const std::uint32_t auto_best =
-          SolverRegistry::Solve(name, graphs[i]).best.BalancedSize();
-      EXPECT_EQ(scalar_best, auto_best)
-          << "solver " << name << " diverged on instance " << i
-          << " between scalar and " << bitops::ActiveDispatchName();
+      for (const DispatchPolicy policy : policies) {
+        ScopedPolicy scoped(policy);
+        const MbbResult result = SolverRegistry::Solve(name, graphs[i]);
+        const std::string where = "solver " + name + " on instance " +
+                                  std::to_string(i) + " under " +
+                                  bitops::ActiveDispatchName();
+        EXPECT_EQ(result.best.BalancedSize(), baseline.best.BalancedSize())
+            << where;
+        EXPECT_EQ(result.best.left, baseline.best.left) << where;
+        EXPECT_EQ(result.best.right, baseline.best.right) << where;
+        EXPECT_EQ(result.stats.recursions, baseline.stats.recursions)
+            << where;
+        EXPECT_EQ(result.stats.leaves, baseline.stats.leaves) << where;
+        EXPECT_EQ(result.stats.bound_prunes, baseline.stats.bound_prunes)
+            << where;
+        EXPECT_EQ(result.stats.matching_prunes,
+                  baseline.stats.matching_prunes)
+            << where;
+        EXPECT_EQ(result.stats.poly_cases, baseline.stats.poly_cases)
+            << where;
+      }
     }
   }
 }
